@@ -1,0 +1,225 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section, plus ablations of the design choices called out in DESIGN.md.
+// Each BenchmarkFigXX/BenchmarkTableX runs the corresponding experiment
+// driver end to end on the synthetic scenarios; the rendered output
+// (identical to cmd/tmbench's) is emitted once per benchmark via b.Log.
+package repro_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = experiments.NewSuite(1) })
+	if suiteErr != nil {
+		b.Fatalf("NewSuite: %v", suiteErr)
+	}
+	return suite
+}
+
+// runDriver benchmarks one experiment driver and logs its report once.
+func runDriver(b *testing.B, id string) {
+	s := benchSuite(b)
+	d, ok := experiments.DriverByID(id)
+	if !ok {
+		b.Fatalf("unknown driver %s", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := d.Run(s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = rep
+	}
+	b.StopTimer()
+	var sb strings.Builder
+	if err := last.Render(&sb); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+}
+
+func BenchmarkFig01TotalTraffic(b *testing.B)        { runDriver(b, "fig1") }
+func BenchmarkFig02CumulativeDemand(b *testing.B)    { runDriver(b, "fig2") }
+func BenchmarkFig03SpatialDistribution(b *testing.B) { runDriver(b, "fig3") }
+func BenchmarkFig04DemandTimeSeries(b *testing.B)    { runDriver(b, "fig4") }
+func BenchmarkFig05FanoutStability(b *testing.B)     { runDriver(b, "fig5") }
+func BenchmarkFig06MeanVariance(b *testing.B)        { runDriver(b, "fig6") }
+func BenchmarkFig07GravityScatter(b *testing.B)      { runDriver(b, "fig7") }
+func BenchmarkFig08WorstCaseBounds(b *testing.B)     { runDriver(b, "fig8") }
+func BenchmarkFig09WCBPrior(b *testing.B)            { runDriver(b, "fig9") }
+func BenchmarkFig10FanoutWindows(b *testing.B)       { runDriver(b, "fig10") }
+func BenchmarkFig11FanoutMRE(b *testing.B)           { runDriver(b, "fig11") }
+func BenchmarkTable1Vardi(b *testing.B)              { runDriver(b, "table1") }
+func BenchmarkFig12VardiSynthetic(b *testing.B)      { runDriver(b, "fig12") }
+func BenchmarkFig13RegularizationSweep(b *testing.B) { runDriver(b, "fig13") }
+func BenchmarkFig14RegularizedScatter(b *testing.B)  { runDriver(b, "fig14") }
+func BenchmarkFig15PriorComparison(b *testing.B)     { runDriver(b, "fig15") }
+func BenchmarkFig16DirectMeasurement(b *testing.B)   { runDriver(b, "fig16") }
+func BenchmarkTable2Summary(b *testing.B)            { runDriver(b, "table2") }
+
+// Extension experiments (paper §6 future work; see EXPERIMENTS.md).
+func BenchmarkExt1NoiseSensitivity(b *testing.B)   { runDriver(b, "ext1") }
+func BenchmarkExt2UnevaluatedMethods(b *testing.B) { runDriver(b, "ext2") }
+func BenchmarkExt3ECMPMismatch(b *testing.B)       { runDriver(b, "ext3") }
+func BenchmarkExt4TrafficEngineering(b *testing.B) { runDriver(b, "ext4") }
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationBayesSolvers compares the exact Lawson-Hanson NNLS
+// solution of the MAP problem (eq. 7) with the FISTA solve the library uses
+// by default, on the European network.
+func BenchmarkAblationBayesSolvers(b *testing.B) {
+	s := benchSuite(b)
+	prior := core.Gravity(s.InstEU)
+	b.Run("fista", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Bayesian(s.InstEU, prior, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nnls-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BayesianNNLS(s.InstEU, prior, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEntropySolvers compares the forward-backward KL-prox
+// solver of eq. (6) against Krupp's multiplicative iterative scaling, which
+// solves the consistency-constrained limit of the same objective.
+func BenchmarkAblationEntropySolvers(b *testing.B) {
+	s := benchSuite(b)
+	prior := core.Gravity(s.InstEU)
+	b.Run("forward-backward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Entropy(s.InstEU, prior, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iterative-scaling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.KruithofGeneral(s.InstEU, prior, 3000)
+		}
+	})
+}
+
+// BenchmarkAblationWCBWarmStart measures what sharing one warm-started
+// simplex instance across the 2P worst-case-bound LPs saves versus cold
+// starts.
+func BenchmarkAblationWCBWarmStart(b *testing.B) {
+	s := benchSuite(b)
+	b.Run("warm", func(b *testing.B) {
+		var pivots int
+		for i := 0; i < b.N; i++ {
+			bounds, err := core.WorstCaseBounds(s.InstEU)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pivots = bounds.Pivots
+		}
+		b.ReportMetric(float64(pivots), "pivots")
+	})
+	b.Run("cold", func(b *testing.B) {
+		var pivots int
+		for i := 0; i < b.N; i++ {
+			bounds, err := core.WorstCaseBoundsCold(s.InstEU)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pivots = bounds.Pivots
+		}
+		b.ReportMetric(float64(pivots), "pivots")
+	})
+}
+
+// BenchmarkAblationFanoutConstraint compares the paper's simplex-constrained
+// fanout estimator with the unconstrained least-squares variant.
+func BenchmarkAblationFanoutConstraint(b *testing.B) {
+	s := benchSuite(b)
+	start := s.EU.BusyWindow(experiments.BusyWindowSamples)
+	loads := s.EU.LoadSeries(start, 10)
+	mean := s.EU.Series.MeanDemand(start, 10)
+	th := core.ShareThreshold(mean, 0.9)
+	for _, tc := range []struct {
+		name          string
+		unconstrained bool
+	}{{"simplex", false}, {"unconstrained", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := core.DefaultFanoutConfig()
+			cfg.Unconstrained = tc.unconstrained
+			var mre float64
+			for i := 0; i < b.N; i++ {
+				est, err := core.EstimateFanouts(s.EU.Rt, loads, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mre = core.MRE(est.MeanDemand, mean, th)
+			}
+			b.ReportMetric(mre, "MRE")
+		})
+	}
+}
+
+// BenchmarkAblationGreedyVsLargest compares the two direct-measurement
+// selection strategies of §5.3.6 at equal budget on the European network.
+func BenchmarkAblationGreedyVsLargest(b *testing.B) {
+	s := benchSuite(b)
+	prior := core.Gravity(s.InstEU)
+	for _, tc := range []struct {
+		name     string
+		strategy core.SelectionStrategy
+	}{{"greedy", core.GreedyMRE}, {"largest", core.LargestDemand}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				curve, _, err := core.DirectMeasurementCurve(
+					s.InstEU, s.TruthEU, prior, 1000, s.ThreshEU, 6, tc.strategy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				final = curve[len(curve)-1]
+			}
+			b.ReportMetric(final, "final-MRE")
+		})
+	}
+}
+
+// BenchmarkScenarioBuild measures end-to-end scenario construction
+// (topology + routing + calibrated series).
+func BenchmarkScenarioBuild(b *testing.B) {
+	b.Run("europe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.BuildEurope(int64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("america", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.BuildAmerica(int64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+// Command tmbench regenerates every table and figure of the paper's
+// evaluation section on the synthetic scenarios and prints them as text.
+//
+// Usage:
+//
+//	tmbench                 # run everything (takes a few minutes)
+//	tmbench -only fig13     # a single experiment
+//	tmbench -seed 7         # different synthetic universe
+//	tmbench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. fig13, table2)")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.AllDrivers() {
+			fmt.Printf("%-8s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+	suite, err := experiments.NewSuite(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmbench: %v\n", err)
+		os.Exit(1)
+	}
+	drivers := experiments.AllDrivers()
+	if *only != "" {
+		d, ok := experiments.DriverByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tmbench: unknown experiment %q (use -list)\n", *only)
+			os.Exit(2)
+		}
+		drivers = []experiments.Driver{d}
+	}
+	for _, d := range drivers {
+		t0 := time.Now()
+		rep, err := d.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: %s: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: render %s: %v\n", d.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", d.ID, time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,92 @@
+// Command tmcollect runs the simulated SNMP collection pipeline end to end
+// on the loopback interface: router agents serve per-LSP byte counters over
+// UDP, distributed pollers collect them at accelerated 5-minute intervals
+// with rate adjustment, and a central store ingests the rates over TCP. The
+// collected traffic matrix is then compared against the generating ground
+// truth.
+//
+// Usage:
+//
+//	tmcollect -region europe -cycles 8 -pollers 3 -drop 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/collector"
+	"repro/internal/netsim"
+)
+
+func main() {
+	region := flag.String("region", "europe", "europe or america")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	cycles := flag.Int("cycles", 8, "polling rounds to run")
+	pollers := flag.Int("pollers", 3, "distributed pollers")
+	drop := flag.Float64("drop", 0.02, "per-datagram UDP loss probability")
+	speed := flag.Float64("speed", 0.1, "simulated minutes per wall millisecond")
+	flag.Parse()
+
+	if err := run(*region, *seed, *cycles, *pollers, *drop, *speed); err != nil {
+		fmt.Fprintf(os.Stderr, "tmcollect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(region string, seed int64, cycles, pollers int, drop, speed float64) error {
+	var (
+		sc  *netsim.Scenario
+		err error
+	)
+	switch region {
+	case "europe":
+		sc, err = netsim.BuildEurope(seed)
+	case "america":
+		sc, err = netsim.BuildAmerica(seed)
+	default:
+		return fmt.Errorf("unknown region %q", region)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s, %d PoPs, %d LSPs, %d router agents\n",
+		region, sc.Net.NumPoPs(), sc.Net.NumPairs(), sc.Net.NumPoPs())
+	d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
+		Pollers:         pollers,
+		DropProb:        drop,
+		MinutesPerMilli: speed,
+		StepMinutes:     sc.Series.Cfg.StepMinutes,
+		Seed:            seed,
+	})
+	if err := d.Run(cycles); err != nil {
+		return err
+	}
+	var lost int
+	for _, p := range d.Pollers {
+		lost += p.Lost()
+	}
+	fmt.Printf("collected %d rate records over %d cycles (%d poll batches lost to UDP drops)\n",
+		d.Store.Records(), cycles, lost)
+	for _, iv := range d.Store.Intervals() {
+		got, covered, _ := d.Store.Matrix(iv)
+		if iv >= len(sc.Series.Demands) {
+			continue
+		}
+		truth := sc.Series.Demands[iv]
+		var re, n float64
+		for p := range truth {
+			if truth[p] > 1 && got[p] > 0 {
+				re += math.Abs(got[p]-truth[p]) / truth[p]
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("interval %2d: %3d/%3d LSPs covered, mean collection error %.2f%%\n",
+			iv, covered, sc.Net.NumPairs(), 100*re/n)
+	}
+	return nil
+}

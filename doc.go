@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	"Traffic Matrix Estimation on a Large IP Backbone — A Comparison on
+//	Real Data", Gunnar, Johansson & Telkamp, ACM IMC 2004.
+//
+// The repository implements the paper's complete system: the
+// MPLS/SNMP-style measurement substrate (internal/collector), backbone
+// topology and CSPF routing simulation (internal/topology), a demand
+// generator calibrated to the paper's statistical findings
+// (internal/traffic), every estimation method the paper evaluates
+// (internal/core), the numerical machinery they need — dense/sparse linear
+// algebra, a warm-startable simplex LP, NNLS, FISTA, iterative proportional
+// fitting (internal/linalg, internal/sparse, internal/solver) — and one
+// experiment driver per table and figure of the evaluation section
+// (internal/experiments).
+//
+// Start with examples/quickstart, or run the full evaluation with
+//
+//	go run ./cmd/tmbench
+//
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

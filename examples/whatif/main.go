@@ -1,0 +1,50 @@
+// Whatif: measurement planning à la §5.3.6 — how many demands must be
+// measured directly (e.g. with per-LSP accounting) before the entropy
+// estimate of the rest becomes excellent, comparing the paper's greedy
+// exhaustive search with the practical largest-demands-first rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+func main() {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, inst, threshold, err := sc.Snapshot(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prior := core.Gravity(inst)
+
+	const steps = 8
+	greedy, greedyOrder, err := core.DirectMeasurementCurve(
+		inst, truth, prior, 1000, threshold, steps, core.GreedyMRE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	largest, _, err := core.DirectMeasurementCurve(
+		inst, truth, prior, 1000, threshold, steps, core.LargestDemand)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("demands measured | greedy MRE | largest-first MRE")
+	for i := 0; i <= steps; i++ {
+		fmt.Printf("%16d | %10.4f | %17.4f\n", i, greedy[i], largest[i])
+	}
+	fmt.Println("\ngreedy picked, in order:")
+	for i, p := range greedyOrder {
+		src, dst := sc.Net.PairFromIndex(p)
+		fmt.Printf("  %d. %s -> %s (%.0f Mbps)\n",
+			i+1, sc.Net.PoPs[src].Name, sc.Net.PoPs[dst].Name, truth[p])
+	}
+	fmt.Println("\n(the paper: 6 greedy measurements cut the European MRE from 11% to <1%;")
+	fmt.Println(" measuring by size alone needs 19 demands for the same effect)")
+}

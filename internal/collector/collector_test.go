@@ -1,0 +1,221 @@
+package collector
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// smallSeries builds a tiny deterministic series for socket tests.
+func smallSeries(t *testing.T, samples int) *traffic.Series {
+	t.Helper()
+	cfg := traffic.Config{
+		Seed: 1, NumPoPs: 4, Samples: samples, StepMinutes: 5,
+		PeakMinute: 0, OffPeakLevel: 1, PeakSharpness: 1, // flat profile
+		TotalPeakMbps: 1000, PoPSkew: 1,
+		DominantPerPoP: 1, DominantStrength: 1,
+		Phi: 1e-6, C: 1.5, SourceNoise: 0.01,
+		FanoutDrift: 0, NodeWobble: 0, PairSpread: 0.3,
+	}
+	s, err := traffic.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+func TestSeriesCountersMonotone(t *testing.T) {
+	s := smallSeries(t, 6)
+	sc := NewSeriesCounters(s)
+	if sc.NumLSPs() != s.P {
+		t.Fatalf("NumLSPs = %d", sc.NumLSPs())
+	}
+	for p := 0; p < s.P; p++ {
+		var prev uint64
+		for m := 0.0; m <= 35; m += 1.25 {
+			b := sc.BytesAt(p, m)
+			if b < prev {
+				t.Fatalf("counter decreased for LSP %d at %v min", p, m)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestSeriesCountersRateRecovery(t *testing.T) {
+	// The delta over exactly one interval must reproduce the Mbps rate.
+	s := smallSeries(t, 6)
+	sc := NewSeriesCounters(s)
+	for _, p := range []int{0, 3, s.P - 1} {
+		for k := 0; k < 5; k++ {
+			t0, t1 := float64(k)*5, float64(k+1)*5
+			bits := float64(sc.BytesAt(p, t1)-sc.BytesAt(p, t0)) * 8
+			mbps := bits / (5 * 60) / 1e6
+			want := s.Demands[k][p]
+			if math.Abs(mbps-want) > 0.01*(1+want) {
+				t.Fatalf("LSP %d interval %d: recovered %v Mbps, want %v", p, k, mbps, want)
+			}
+		}
+	}
+}
+
+func TestSeriesCountersClampsPastEnd(t *testing.T) {
+	s := smallSeries(t, 3)
+	sc := NewSeriesCounters(s)
+	end := sc.BytesAt(0, 15)
+	if sc.BytesAt(0, 500) != end {
+		t.Fatal("counter should freeze after the series ends")
+	}
+	if sc.BytesAt(0, -1) != 0 {
+		t.Fatal("negative time should give 0")
+	}
+}
+
+func TestAgentAnswersPoll(t *testing.T) {
+	s := smallSeries(t, 4)
+	src := NewSeriesCounters(s)
+	clock := NewClock(1) // 1 sim minute per wall ms
+	agent := NewAgent(0, []int{0, 1, 2}, src, clock, 0, 1)
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatalf("agent.Start: %v", err)
+	}
+	defer agent.Stop()
+	p := NewPoller(PollerConfig{
+		Name: "t", StepMinutes: 5, TotalLSPRange: s.P,
+		Timeout: 500 * time.Millisecond,
+	}, clock, nil)
+	samples, err := p.pollAgent(addr)
+	if err != nil {
+		t.Fatalf("pollAgent: %v", err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+}
+
+func TestAgentDropsAndPollerRetries(t *testing.T) {
+	s := smallSeries(t, 4)
+	src := NewSeriesCounters(s)
+	clock := NewClock(1)
+	agent := NewAgent(0, []int{0}, src, clock, 0.5, 42) // 50% loss
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Stop()
+	p := NewPoller(PollerConfig{
+		Name: "t", StepMinutes: 5, TotalLSPRange: s.P,
+		Retries: 10, Timeout: 100 * time.Millisecond,
+	}, clock, nil)
+	samples, err := p.pollAgent(addr)
+	if err != nil {
+		t.Fatalf("pollAgent: %v", err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("retries failed to recover the sample (got %d)", len(samples))
+	}
+}
+
+func TestStoreIngestAndMatrix(t *testing.T) {
+	st := NewStore(4)
+	st.Ingest(RateRecord{LSP: 1, Interval: 0, RateMbps: 10})
+	st.Ingest(RateRecord{LSP: 2, Interval: 0, RateMbps: 20})
+	st.Ingest(RateRecord{LSP: 1, Interval: 0, RateMbps: 11}) // re-upload wins
+	st.Ingest(RateRecord{LSP: 99, Interval: 0, RateMbps: 1}) // out of range: dropped
+	v, covered, ok := st.Matrix(0)
+	if !ok || covered != 2 {
+		t.Fatalf("Matrix: ok=%v covered=%d", ok, covered)
+	}
+	if v[1] != 11 || v[2] != 20 {
+		t.Fatalf("stored rates wrong: %v", v)
+	}
+	if _, _, ok := st.Matrix(7); ok {
+		t.Fatal("unknown interval should report !ok")
+	}
+	if got := st.Intervals(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Intervals = %v", got)
+	}
+}
+
+func TestStoreTCPIngest(t *testing.T) {
+	st := NewStore(4)
+	addr, err := st.Start()
+	if err != nil {
+		t.Fatalf("store.Start: %v", err)
+	}
+	up, err := DialUplink(addr.String())
+	if err != nil {
+		t.Fatalf("DialUplink: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := up.Send(RateRecord{LSP: i, Interval: 2, RateMbps: float64(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	up.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Records() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st.Stop()
+	v, covered, ok := st.Matrix(2)
+	if !ok || covered != 4 {
+		t.Fatalf("TCP ingest incomplete: ok=%v covered=%d", ok, covered)
+	}
+	if v[3] != 3 {
+		t.Fatalf("rate wrong: %v", v)
+	}
+}
+
+func TestEndToEndDeployment(t *testing.T) {
+	// Full pipeline over loopback: 4-PoP network, 2 pollers, mild loss.
+	// The collected matrices must match the generating series.
+	s := smallSeries(t, 5)
+	net4, err := buildTestNetwork()
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	d := NewDeployment(net4, s, DeploymentConfig{
+		Pollers:         2,
+		DropProb:        0.05,
+		MinutesPerMilli: 0.5, // 5-min interval = 10 wall ms
+		StepMinutes:     5,
+		Seed:            7,
+	})
+	if err := d.Run(4); err != nil {
+		t.Fatalf("deployment run: %v", err)
+	}
+	ivs := d.Store.Intervals()
+	if len(ivs) == 0 {
+		t.Fatal("no intervals collected")
+	}
+	checked := 0
+	for _, iv := range ivs {
+		got, covered, _ := d.Store.Matrix(iv)
+		if covered < s.P/2 {
+			continue // partially lost interval
+		}
+		if iv >= len(s.Demands) {
+			continue
+		}
+		for p := 0; p < s.P; p++ {
+			if got[p] == 0 {
+				continue // lost sample
+			}
+			want := s.Demands[iv][p]
+			// Counter reads within an interval include partial-interval
+			// traffic of the neighbouring intervals; the profile is nearly
+			// flat so 25% is a generous envelope for timing skew.
+			if want > 1 && math.Abs(got[p]-want)/want > 0.25 {
+				t.Fatalf("interval %d LSP %d: collected %v, true %v", iv, p, got[p], want)
+			}
+			checked++
+		}
+	}
+	if checked < s.P {
+		t.Fatalf("too few verified samples: %d", checked)
+	}
+}

@@ -1,0 +1,167 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// SeriesCounters adapts a traffic.Series to the CounterSource interface:
+// the cumulative byte counter of LSP p at simulation time T integrates the
+// series' piecewise-constant 5-minute rates from 0 to T.
+type SeriesCounters struct {
+	series *traffic.Series
+	// prefix[k][p] = bytes carried by LSP p in intervals [0, k).
+	prefix []linalg.Vector
+}
+
+// NewSeriesCounters precomputes cumulative counters for a series.
+func NewSeriesCounters(s *traffic.Series) *SeriesCounters {
+	sc := &SeriesCounters{series: s, prefix: make([]linalg.Vector, len(s.Demands)+1)}
+	sc.prefix[0] = linalg.NewVector(s.P)
+	secondsPerStep := s.Cfg.StepMinutes * 60
+	for k, d := range s.Demands {
+		next := sc.prefix[k].Clone()
+		for p, mbps := range d {
+			next[p] += mbps * 1e6 / 8 * secondsPerStep // bytes in interval k
+		}
+		sc.prefix[k+1] = next
+	}
+	return sc
+}
+
+// NumLSPs returns the LSP count.
+func (sc *SeriesCounters) NumLSPs() int { return sc.series.P }
+
+// BytesAt returns cumulative bytes for LSP p at simMinutes, interpolating
+// within the current interval.
+func (sc *SeriesCounters) BytesAt(p int, simMinutes float64) uint64 {
+	if simMinutes <= 0 {
+		return 0
+	}
+	step := sc.series.Cfg.StepMinutes
+	k := int(simMinutes / step)
+	if k >= len(sc.series.Demands) {
+		return uint64(sc.prefix[len(sc.prefix)-1][p])
+	}
+	frac := simMinutes - float64(k)*step
+	bytes := sc.prefix[k][p] + sc.series.Demands[k][p]*1e6/8*frac*60
+	return uint64(bytes)
+}
+
+// Deployment wires a complete collection pipeline for a scenario: one agent
+// per head-end router, pollers sharing the agents geographically (round
+// robin), and a central store.
+type Deployment struct {
+	Store     *Store
+	Agents    []*Agent
+	Pollers   []*Poller
+	clock     *Clock
+	netw      *topology.Network
+	pollerCfg PollerConfig
+}
+
+// DeploymentConfig configures NewDeployment.
+type DeploymentConfig struct {
+	Pollers         int     // number of distributed pollers
+	DropProb        float64 // per-datagram loss probability at agents
+	MinutesPerMilli float64 // simulation speedup
+	StepMinutes     float64 // polling period (the paper's 5 minutes)
+	Seed            int64
+}
+
+// NewDeployment builds (but does not start) the pipeline.
+func NewDeployment(netw *topology.Network, series *traffic.Series, cfg DeploymentConfig) *Deployment {
+	if cfg.Pollers <= 0 {
+		cfg.Pollers = 1
+	}
+	clock := NewClock(cfg.MinutesPerMilli)
+	src := NewSeriesCounters(series)
+	// LSPs are head-ended at the source PoP's head-end router.
+	lspsByRouter := make(map[int][]int)
+	for p := 0; p < netw.NumPairs(); p++ {
+		src2, _ := netw.PairFromIndex(p)
+		r := netw.HeadEnd(src2)
+		lspsByRouter[r] = append(lspsByRouter[r], p)
+	}
+	d := &Deployment{Store: NewStore(series.P), clock: clock, netw: netw}
+	for r, lsps := range lspsByRouter {
+		d.Agents = append(d.Agents, NewAgent(r, lsps, src, clock, cfg.DropProb, cfg.Seed+int64(r)))
+	}
+	// Poller construction is completed in Run, once agent addresses are
+	// known. The retry timeout must track the simulation speedup: a retry
+	// that waits a sizeable fraction of a polling interval would smear the
+	// rate-adjustment window (the real infrastructure's 5-minute interval
+	// dwarfs its SNMP timeouts, and the same ratio must hold here).
+	wallMsPerStep := cfg.StepMinutes / cfg.MinutesPerMilli
+	timeout := time.Duration(wallMsPerStep/20) * time.Millisecond
+	if timeout < 2*time.Millisecond {
+		timeout = 2 * time.Millisecond
+	}
+	d.Pollers = make([]*Poller, cfg.Pollers)
+	d.pollerCfg = PollerConfig{
+		StepMinutes:   cfg.StepMinutes,
+		TotalLSPRange: series.P,
+		Retries:       4,
+		Timeout:       timeout,
+	}
+	return d
+}
+
+// Run starts everything, performs `cycles` polling rounds on every poller
+// concurrently, uploads to the store over TCP, and shuts down. It returns
+// the store for inspection.
+func (d *Deployment) Run(cycles int) error {
+	addr, err := d.Store.Start()
+	if err != nil {
+		return err
+	}
+	defer d.Store.Stop()
+	addrs := make([]*net.UDPAddr, len(d.Agents))
+	for i, a := range d.Agents {
+		if addrs[i], err = a.Start(); err != nil {
+			return err
+		}
+		defer a.Stop()
+	}
+	// Assign agents to pollers round robin ("a dedicated set of routers in
+	// its area").
+	assign := make([][]*net.UDPAddr, len(d.Pollers))
+	for i, a := range addrs {
+		assign[i%len(d.Pollers)] = append(assign[i%len(d.Pollers)], a)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(d.Pollers))
+	for i := range d.Pollers {
+		cfg := d.pollerCfg
+		cfg.Name = fmt.Sprintf("poller-%d", i)
+		d.Pollers[i] = NewPoller(cfg, d.clock, assign[i])
+		up, err := DialUplink(addr.String())
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(p *Poller, up *Uplink) {
+			defer wg.Done()
+			defer up.Close()
+			errs <- p.Collect(cycles, func(rec RateRecord) {
+				// Transport failures surface as missing records; the
+				// backup-poller path re-covers them on the next cycle.
+				_ = up.Send(rec)
+			})
+		}(d.Pollers[i], up)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Store is the central database of §5.1.2: it accepts JSON-lines rate
+// records over TCP and assembles them into per-interval traffic matrices.
+type Store struct {
+	numLSPs int
+
+	mu        sync.Mutex
+	intervals map[int]linalg.Vector // interval -> per-LSP rates
+	seen      map[int]map[int]bool  // interval -> LSP set
+	records   int
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewStore creates a store for the given LSP count.
+func NewStore(numLSPs int) *Store {
+	return &Store{
+		numLSPs:   numLSPs,
+		intervals: make(map[int]linalg.Vector),
+		seen:      make(map[int]map[int]bool),
+	}
+}
+
+// Start listens on an ephemeral loopback TCP port and returns its address.
+func (s *Store) Start() (net.Addr, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("collector: store listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.accept()
+	return ln.Addr(), nil
+}
+
+// Stop closes the listener and waits for in-flight connections to finish.
+func (s *Store) Stop() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Store) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+			for sc.Scan() {
+				var rec RateRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					continue
+				}
+				s.Ingest(rec)
+			}
+		}()
+	}
+}
+
+// Ingest adds one rate record (thread-safe; also usable without TCP).
+func (s *Store) Ingest(rec RateRecord) {
+	if rec.LSP < 0 || rec.LSP >= s.numLSPs {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.intervals[rec.Interval]
+	if !ok {
+		v = linalg.NewVector(s.numLSPs)
+		s.intervals[rec.Interval] = v
+		s.seen[rec.Interval] = make(map[int]bool)
+	}
+	// Backup pollers may report the same LSP twice; last write wins, which
+	// is also what the paper's central database does with re-uploads.
+	v[rec.LSP] = rec.RateMbps
+	s.seen[rec.Interval][rec.LSP] = true
+	s.records++
+}
+
+// Records returns the total number of ingested records.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Matrix returns the demand vector of an interval and how many LSPs it
+// covers. The bool is false if the interval is unknown.
+func (s *Store) Matrix(interval int) (linalg.Vector, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.intervals[interval]
+	if !ok {
+		return nil, 0, false
+	}
+	return v.Clone(), len(s.seen[interval]), true
+}
+
+// Intervals returns the sorted list of known interval indices.
+func (s *Store) Intervals() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.intervals))
+	for k := range s.intervals {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; interval counts are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Uplink streams rate records to a store over TCP as JSON lines. It is the
+// poller-side transport client.
+type Uplink struct {
+	conn net.Conn
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// DialUplink connects to the store.
+func DialUplink(addr string) (*Uplink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial store: %w", err)
+	}
+	return &Uplink{conn: conn, enc: json.NewEncoder(conn)}, nil
+}
+
+// Send uploads one record.
+func (u *Uplink) Send(rec RateRecord) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.enc.Encode(rec)
+}
+
+// Close closes the connection.
+func (u *Uplink) Close() error { return u.conn.Close() }

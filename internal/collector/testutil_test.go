@@ -1,0 +1,15 @@
+package collector
+
+import "repro/internal/topology"
+
+// buildTestNetwork returns a 4-PoP backbone matching smallSeries.
+func buildTestNetwork() (*topology.Network, error) {
+	return topology.Generate(topology.GeneratorConfig{
+		Name:            "test4",
+		PoPNames:        []string{"A", "B", "C", "D"},
+		UndirectedEdges: 5,
+		Seed:            3,
+		CapacityMbps:    100000,
+		AccessCapacity:  100000,
+	})
+}

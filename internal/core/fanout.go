@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+	"repro/internal/topology"
+)
+
+// FanoutConfig tunes the constant-fanout estimator (§4.2.4), the paper's
+// novel method.
+type FanoutConfig struct {
+	MaxIter int
+	Tol     float64
+	// Unconstrained drops the per-source simplex constraint (Σ_m α_nm = 1,
+	// α >= 0), solving the plain least-squares problem instead. Kept for
+	// the constraint-ablation benchmark; the constrained form is the
+	// paper's.
+	Unconstrained bool
+}
+
+// DefaultFanoutConfig returns the settings used in the paper reproduction.
+func DefaultFanoutConfig() FanoutConfig {
+	return FanoutConfig{MaxIter: 20000, Tol: 1e-9}
+}
+
+// FanoutEstimate holds the result of the constant-fanout estimation.
+type FanoutEstimate struct {
+	// Alpha[p] is the estimated fanout of demand p: the fraction of its
+	// source PoP's ingress traffic destined to its destination PoP.
+	Alpha linalg.Vector
+	// MeanDemand[p] is the estimated average demand over the window:
+	// mean_k( te(src(p))[k] · α_p ).
+	MeanDemand linalg.Vector
+	// Iterations used by the projected-gradient solve.
+	Iterations int
+}
+
+// EstimateFanouts solves the paper's constant-fanout problem over a window
+// of link-load measurements:
+//
+//	minimize Σ_k ‖R·S[k]·α − t[k]‖²
+//	subject to Σ_m α_nm = 1 for every source n,  α >= 0
+//
+// where S[k] = diag(te(src(p))[k]) scales each pair's fanout by its source
+// PoP's total ingress traffic during interval k (read off the ingress
+// access-link loads). The constraint set is a product of per-source
+// simplices; the problem is solved with accelerated projected gradient.
+func EstimateFanouts(rt *topology.Routing, loads []linalg.Vector, cfg FanoutConfig) (*FanoutEstimate, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("core: EstimateFanouts needs at least one sample")
+	}
+	net := rt.Net
+	p := net.NumPairs()
+	n := net.NumPoPs()
+	k := len(loads)
+
+	// Per-interval source scalings te(src(p))[k].
+	scales := make([]linalg.Vector, k)
+	for i, t := range loads {
+		if len(t) != rt.R.Rows() {
+			return nil, fmt.Errorf("core: sample %d has %d loads, want %d", i, len(t), rt.R.Rows())
+		}
+		sc := linalg.NewVector(p)
+		for pair := 0; pair < p; pair++ {
+			src, _ := net.PairFromIndex(pair)
+			sc[pair] = t[rt.IngressRow(src)]
+		}
+		scales[i] = sc
+	}
+	// Per-source index groups for the simplex projection.
+	groups := make([][]int, n)
+	for pair := 0; pair < p; pair++ {
+		src, _ := net.PairFromIndex(pair)
+		groups[src] = append(groups[src], pair)
+	}
+
+	// Gradient of Σ_k ‖R·S_k·α − t_k‖²: Σ_k 2·S_k·Rᵀ·(R·S_k·α − t_k).
+	scaled := linalg.NewVector(p)
+	resid := linalg.NewVector(rt.R.Rows())
+	back := linalg.NewVector(p)
+	grad := func(dst, a linalg.Vector) {
+		dst.Zero()
+		for i := 0; i < k; i++ {
+			sc := scales[i]
+			for j := range scaled {
+				scaled[j] = sc[j] * a[j]
+			}
+			rt.R.MulVec(resid, scaled)
+			linalg.Sub(resid, resid, loads[i])
+			rt.R.MulVecT(back, resid)
+			for j := range dst {
+				dst[j] += 2 * sc[j] * back[j]
+			}
+		}
+	}
+	// Lipschitz constant of the summed quadratic: Σ_k ‖R·S_k‖² bounded by
+	// ‖R‖²·Σ_k max(S_k)².
+	rNorm := solver.OperatorNormSq(rt.R)
+	var lip float64
+	for i := 0; i < k; i++ {
+		mx, _ := scales[i].Max()
+		lip += 2 * rNorm * mx * mx
+	}
+	project := func(a linalg.Vector) {
+		for _, g := range groups {
+			projectGroupSimplex(a, g)
+		}
+	}
+	if cfg.Unconstrained {
+		project = func(a linalg.Vector) { a.ClampNonNegative() }
+	}
+	// Start from uniform fanouts.
+	alpha := linalg.NewVector(p)
+	alpha.Fill(1 / float64(n-1))
+	alpha, res := solver.FISTA(alpha, grad, lip, project, cfg.MaxIter, cfg.Tol)
+
+	// Demand reconstruction: average of S_k·α over the window.
+	mean := linalg.NewVector(p)
+	for i := 0; i < k; i++ {
+		for j := range mean {
+			mean[j] += scales[i][j] * alpha[j]
+		}
+	}
+	mean.Scale(1 / float64(k))
+	return &FanoutEstimate{Alpha: alpha, MeanDemand: mean, Iterations: res.Iterations}, nil
+}
+
+// projectGroupSimplex projects the coordinates of a listed in group onto
+// the unit simplex, in place.
+func projectGroupSimplex(a linalg.Vector, group []int) {
+	tmp := make([]float64, len(group))
+	for i, j := range group {
+		tmp[i] = a[j]
+	}
+	solver.ProjectSimplex(tmp, 1)
+	for i, j := range group {
+		a[j] = tmp[i]
+	}
+}

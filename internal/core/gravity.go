@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/linalg"
+)
+
+// Gravity computes the simple gravity model estimate of eq. (5):
+//
+//	ŝ_nm = C·te(n)·tx(m),
+//
+// normalized so the estimated total equals the measured total network
+// traffic. It uses only the access-link loads, never the interior links, so
+// its estimate is generally not consistent with the interior measurements —
+// which is why it serves as a prior for the regularized methods rather than
+// as an estimator of its own.
+func Gravity(in *Instance) linalg.Vector {
+	te := in.IngressTotals()
+	tx := in.EgressTotals()
+	return gravityFrom(in, te, tx, nil)
+}
+
+// GeneralizedGravity is the peering-aware variant (§4.1): traffic between
+// two peering PoPs is forced to zero, everything else follows the gravity
+// form, renormalized to the measured total. peers[n] marks PoP n as a
+// peering point.
+func GeneralizedGravity(in *Instance, peers map[int]bool) linalg.Vector {
+	te := in.IngressTotals()
+	tx := in.EgressTotals()
+	return gravityFrom(in, te, tx, peers)
+}
+
+func gravityFrom(in *Instance, te, tx linalg.Vector, peers map[int]bool) linalg.Vector {
+	net := in.Rt.Net
+	n := net.NumPoPs()
+	s := linalg.NewVector(net.NumPairs())
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if peers != nil && peers[src] && peers[dst] {
+				continue // transit between peers is forced to zero
+			}
+			s[net.PairIndex(src, dst)] = te[src] * tx[dst]
+		}
+	}
+	// Normalize the estimated total to the measured total traffic.
+	tot := te.Sum()
+	est := s.Sum()
+	if est > 0 {
+		s.Scale(tot / est)
+	}
+	return s
+}
+
+// GravityFanouts returns the fanout interpretation of the simple gravity
+// model: α_nm = tx(m) / Σ tx — identical for every source PoP.
+func GravityFanouts(in *Instance) linalg.Vector {
+	net := in.Rt.Net
+	tx := in.EgressTotals()
+	tot := tx.Sum()
+	a := linalg.NewVector(net.NumPairs())
+	if tot <= 0 {
+		return a
+	}
+	for src := 0; src < net.NumPoPs(); src++ {
+		var rowTot float64
+		for dst := 0; dst < net.NumPoPs(); dst++ {
+			if dst != src {
+				rowTot += tx[dst]
+			}
+		}
+		for dst := 0; dst < net.NumPoPs(); dst++ {
+			if dst != src && rowTot > 0 {
+				a[net.PairIndex(src, dst)] = tx[dst] / rowTot
+			}
+		}
+	}
+	return a
+}

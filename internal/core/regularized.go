@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+// regIter and regTol are the iteration budget and relative-change tolerance
+// shared by the regularized solvers. The objectives are strongly smooth and
+// the problems small (≤ 600 variables), so these are generous.
+const (
+	regIter = 20000
+	regTol  = 1e-9
+)
+
+// Bayesian computes the MAP estimate of eq. (7):
+//
+//	minimize ‖R·s − t‖² + σ⁻²·‖s − prior‖²   subject to s >= 0,
+//
+// where reg = σ² is the regularization parameter swept in Fig. 13: small
+// values trust the prior, large values trust the link measurements. Solved
+// with accelerated projected gradient (FISTA).
+func Bayesian(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, error) {
+	if reg <= 0 {
+		return nil, fmt.Errorf("core: Bayesian needs positive regularization, got %v", reg)
+	}
+	x, res := solver.LeastSquaresNonneg(in.Rt.R, in.Loads, prior, 1/reg, nil, regIter, regTol)
+	if !x.AllFinite() {
+		return nil, fmt.Errorf("core: Bayesian produced non-finite estimate (%d iters)", res.Iterations)
+	}
+	return x, nil
+}
+
+// BayesianNNLS solves the same MAP problem exactly with Lawson–Hanson NNLS
+// on the stacked system [R; σ⁻¹·I]·s = [t; σ⁻¹·prior]. Exponentially more
+// expensive than FISTA on large networks; retained as the reference
+// implementation for the solver-ablation benchmark.
+func BayesianNNLS(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, error) {
+	if reg <= 0 {
+		return nil, fmt.Errorf("core: BayesianNNLS needs positive regularization, got %v", reg)
+	}
+	l, p := in.Rt.R.Rows(), in.Rt.R.Cols()
+	w := 1 / math.Sqrt(reg)
+	a := linalg.NewMatrix(l+p, p)
+	dense := in.Rt.R.ToDense()
+	copy(a.Data[:l*p], dense.Data)
+	for i := 0; i < p; i++ {
+		a.Set(l+i, i, w)
+	}
+	b := linalg.NewVector(l + p)
+	copy(b[:l], in.Loads)
+	for i := 0; i < p; i++ {
+		b[l+i] = w * prior[i]
+	}
+	return solver.NNLS(a, b), nil
+}
+
+// Entropy computes the entropy-penalized estimate of eq. (6) (Zhang et
+// al.'s tomogravity criterion):
+//
+//	minimize ‖R·s − t‖² + σ⁻²·D(s‖prior)   subject to s >= 0,
+//
+// with reg = σ² the regularization parameter. Solved by forward–backward
+// splitting with an exact per-coordinate KL proximal step.
+func Entropy(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, error) {
+	if reg <= 0 {
+		return nil, fmt.Errorf("core: Entropy needs positive regularization, got %v", reg)
+	}
+	x, res := solver.EntropyRegularized(in.Rt.R, in.Loads, prior, 1/reg, regIter, regTol)
+	if !x.AllFinite() {
+		return nil, fmt.Errorf("core: Entropy produced non-finite estimate (%d iters)", res.Iterations)
+	}
+	return x, nil
+}
+
+// Kruithof adjusts a prior traffic matrix to be consistent with the
+// measured ingress and egress totals by classical iterative proportional
+// fitting — the 1937 method, which uses only the marginals, not the
+// interior links.
+func Kruithof(in *Instance, prior linalg.Vector) (linalg.Vector, error) {
+	net := in.Rt.Net
+	n := net.NumPoPs()
+	pm := linalg.NewMatrix(n, n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				pm.Set(src, dst, prior[net.PairIndex(src, dst)])
+			}
+		}
+	}
+	te := in.IngressTotals()
+	tx := in.EgressTotals()
+	// Balance the marginal totals (they can disagree slightly when loads
+	// come from noisy collection).
+	if s := tx.Sum(); s > 0 {
+		tx.Scale(te.Sum() / s)
+	}
+	bal, _, err := solver.KruithofBalance(pm, te, tx, 2000, 1e-10)
+	if err != nil {
+		return nil, fmt.Errorf("core: Kruithof: %w", err)
+	}
+	s := linalg.NewVector(net.NumPairs())
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				s[net.PairIndex(src, dst)] = bal.At(src, dst)
+			}
+		}
+	}
+	return s, nil
+}
+
+// KruithofGeneral applies Krupp's extension of Kruithof's projection to the
+// full linear system R·s = t: cyclic multiplicative scaling over every link
+// constraint. It minimizes D(s‖prior) over the solution set when the system
+// is consistent.
+func KruithofGeneral(in *Instance, prior linalg.Vector, maxIter int) (linalg.Vector, solver.IPFResult) {
+	return solver.IterativeScaling(in.Rt.R, in.Loads, prior, maxIter, 1e-9)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExt4TrafficEngineering checks the TE-decision experiment's core
+// claim: the entropy estimate reproduces TE views (nearly) exactly because
+// it is consistent with the measured loads, while the gravity prior is not.
+func TestExt4TrafficEngineering(t *testing.T) {
+	s := getSuite(t)
+	rep, err := s.Ext4TrafficEngineering()
+	if err != nil {
+		t.Fatalf("Ext4: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	t.Log("\n" + out)
+	if !strings.Contains(out, "entropy") || !strings.Contains(out, "gravity") {
+		t.Fatal("report missing method rows")
+	}
+	// Entropy rows must show 100% hot-set overlap.
+	for _, line := range rep.Lines {
+		if strings.Contains(line, "entropy") && !strings.Contains(line, "overlap 100%") {
+			t.Fatalf("entropy estimate should reproduce the hot set exactly: %q", line)
+		}
+	}
+}
+
+// TestExt1NoiseMonotonicTrend verifies noise hurts: the MRE at 10% noise
+// must exceed the noise-free MRE in both networks.
+func TestExt1NoiseMonotonicTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noise sweep is slow")
+	}
+	s := getSuite(t)
+	rep, err := s.Ext1NoiseSensitivity()
+	if err != nil {
+		t.Fatalf("Ext1: %v", err)
+	}
+	for _, line := range rep.Lines {
+		if !strings.HasPrefix(line, "Europe") && !strings.HasPrefix(line, "America") {
+			continue
+		}
+		fields := strings.Fields(line)
+		first, err1 := strconv.ParseFloat(fields[1], 64)
+		last, err2 := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %q", line)
+		}
+		if last <= first {
+			t.Errorf("10%% noise should hurt: %q", line)
+		}
+	}
+}
+
+// TestExt3ECMPRepair verifies the fractional routing matrix repairs the
+// single-path mismatch.
+func TestExt3ECMPRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ECMP sweep is slow")
+	}
+	s := getSuite(t)
+	rep, err := s.Ext3ECMPMismatch()
+	if err != nil {
+		t.Fatalf("Ext3: %v", err)
+	}
+	for _, line := range rep.Lines {
+		if !strings.Contains(line, "single-path model") {
+			continue
+		}
+		// Parse "... single-path model MRE X | fractional model MRE Y".
+		var wrong, right float64
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "MRE" && i+1 < len(fields) {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					t.Fatalf("unparseable MRE in %q", line)
+				}
+				if wrong == 0 {
+					wrong = v
+				} else {
+					right = v
+				}
+			}
+		}
+		if right >= wrong {
+			t.Errorf("fractional model (%.3f) should beat single-path (%.3f): %q", right, wrong, line)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a matrix
+// that is singular (or numerically indistinguishable from singular).
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrSingular if a is not positive
+// definite to working precision.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A·x = b and returns x. b is not modified.
+func (c *Cholesky) Solve(b Vector) Vector {
+	if len(b) != c.n {
+		panic("linalg: Cholesky.Solve bad length")
+	}
+	// Forward: L y = b.
+	y := b.Clone()
+	for i := 0; i < c.n; i++ {
+		li := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			y[i] -= li[k] * y[k]
+		}
+		y[i] /= li[i]
+	}
+	// Backward: Lᵀ x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		for k := i + 1; k < c.n; k++ {
+			y[i] -= c.l.At(k, i) * y[k]
+		}
+		y[i] /= c.l.At(i, i)
+	}
+	return y
+}
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+type QR struct {
+	m, n int
+	qr   *Matrix // packed: R in upper triangle, Householder vectors below
+	tau  Vector
+}
+
+// NewQR factors a (m×n, m >= n) via Householder reflections. a is not
+// modified.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	tau := NewVector(n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k, rows k..m-1.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = norm
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Add(i, j, s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{m: m, n: n, qr: qr, tau: tau}, nil
+}
+
+// Solve returns the least-squares solution x of a·x ≈ b, i.e. the minimizer
+// of ‖a·x − b‖₂. It returns ErrSingular if a is rank deficient.
+func (f *QR) Solve(b Vector) (Vector, error) {
+	if len(b) != f.m {
+		return nil, errors.New("linalg: QR.Solve bad length")
+	}
+	// Rank check: a diagonal of R that is tiny relative to the largest one
+	// marks the matrix as numerically rank deficient.
+	var maxTau float64
+	for _, t := range f.tau {
+		if a := math.Abs(t); a > maxTau {
+			maxTau = a
+		}
+	}
+	thresh := maxTau * float64(f.m) * 1e-14
+	for k := 0; k < f.n; k++ {
+		if math.Abs(f.tau[k]) <= thresh || f.qr.At(k, k) == 0 {
+			return nil, ErrSingular
+		}
+	}
+	y := b.Clone()
+	// Apply Qᵀ to y.
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = y[0:n]. Diagonal of R is -tau (sign folded in).
+	x := NewVector(f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := -f.tau[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveLeastSquares returns the minimizer of ‖a·x − b‖₂ using QR when a has
+// full column rank, falling back to a Tikhonov-damped normal-equation solve
+// otherwise. It never returns an error: the fallback is always solvable.
+func SolveLeastSquares(a *Matrix, b Vector) Vector {
+	if a.Rows >= a.Cols {
+		if f, err := NewQR(a); err == nil {
+			if x, err := f.Solve(b); err == nil {
+				return x
+			}
+		}
+	}
+	// Damped normal equations: (AᵀA + εI) x = Aᵀ b.
+	g := MulAtA(a)
+	eps := 1e-10 * (1 + g.MaxAbs())
+	for i := 0; i < g.Rows; i++ {
+		g.Add(i, i, eps)
+	}
+	atb := a.MulVecT(nil, b)
+	ch, err := NewCholesky(g)
+	if err != nil {
+		// Extremely ill-conditioned; damp harder until it factors.
+		for k := 0; k < 40 && err != nil; k++ {
+			eps *= 10
+			for i := 0; i < g.Rows; i++ {
+				g.Add(i, i, eps)
+			}
+			ch, err = NewCholesky(g)
+		}
+		if err != nil {
+			return NewVector(a.Cols)
+		}
+	}
+	return ch.Solve(atb)
+}

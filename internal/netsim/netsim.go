@@ -1,0 +1,200 @@
+// Package netsim bundles a generated backbone, its routing and a calibrated
+// demand time series into an evaluation scenario, mirroring the paper's
+// evaluation data set (§5.1.4): link loads are always computed from the
+// true demands via t = R·s, so routing, traffic matrix and loads are
+// mutually consistent and estimator error is never confounded with
+// measurement error.
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Scenario is a complete evaluation data set for one subnetwork.
+type Scenario struct {
+	Region string
+	Net    *topology.Network
+	Rt     *topology.Routing
+	Series *traffic.Series
+}
+
+// BuildEurope constructs the European evaluation scenario (12 PoPs, 132
+// demands, 72 interior links) with deterministic seeding.
+func BuildEurope(seed int64) (*Scenario, error) {
+	return build("europe", topology.Europe(seed), traffic.Europe(seed))
+}
+
+// BuildAmerica constructs the American evaluation scenario (25 PoPs, 600
+// demands, 284 interior links).
+func BuildAmerica(seed int64) (*Scenario, error) {
+	return build("america", topology.America(seed), traffic.America(seed))
+}
+
+func build(region string, net *topology.Network, cfg traffic.Config) (*Scenario, error) {
+	rt, err := net.Route()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: routing %s: %w", region, err)
+	}
+	series, err := traffic.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: traffic %s: %w", region, err)
+	}
+	if series.P != net.NumPairs() {
+		return nil, fmt.Errorf("netsim: %s traffic has %d pairs, network %d", region, series.P, net.NumPairs())
+	}
+	return &Scenario{Region: region, Net: net, Rt: rt, Series: series}, nil
+}
+
+// LinkLoads returns the consistent link loads of interval k.
+func (sc *Scenario) LinkLoads(k int) linalg.Vector {
+	return sc.Rt.LinkLoads(sc.Series.Demands[k])
+}
+
+// LoadSeries returns loads of the half-open window [start, start+k).
+func (sc *Scenario) LoadSeries(start, k int) []linalg.Vector {
+	out := make([]linalg.Vector, k)
+	for i := 0; i < k; i++ {
+		out[i] = sc.LinkLoads(start + i)
+	}
+	return out
+}
+
+// BusyWindow returns the start of the length-k busiest window.
+func (sc *Scenario) BusyWindow(k int) int { return sc.Series.BusyWindow(k) }
+
+// Snapshot builds the evaluation snapshot the paper's single-measurement
+// methods use: the mean demand over the busy window of length k, the
+// consistent Instance for it, and the threshold above which demands carry
+// 90% of traffic.
+func (sc *Scenario) Snapshot(k int) (truth linalg.Vector, inst *core.Instance, threshold float64, err error) {
+	start := sc.BusyWindow(k)
+	truth = sc.Series.MeanDemand(start, k)
+	inst, err = core.NewInstance(sc.Rt, sc.Rt.LinkLoads(truth))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return truth, inst, core.ShareThreshold(truth, 0.9), nil
+}
+
+// PerturbLoads returns a copy of loads with multiplicative Gaussian noise
+// of the given relative standard deviation applied to every entry —
+// simulating SNMP measurement error, which the paper's clean evaluation
+// data set deliberately excludes (§6 lists its effect as future work).
+// Negative results are clamped to zero.
+func PerturbLoads(loads linalg.Vector, relStd float64, seed int64) linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := loads.Clone()
+	if relStd <= 0 {
+		return out
+	}
+	for i, v := range out {
+		out[i] = v * (1 + relStd*rng.NormFloat64())
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// file is the JSON serialization schema of a Scenario.
+type file struct {
+	Region  string         `json:"region"`
+	Network networkFile    `json:"network"`
+	Traffic traffic.Config `json:"traffic_config"`
+	Times   []float64      `json:"times"`
+	Demands [][]float64    `json:"demands"`
+	Fanouts []float64      `json:"base_fanouts"`
+	Weights []float64      `json:"pop_weights"`
+}
+
+type networkFile struct {
+	Name    string            `json:"name"`
+	PoPs    []topology.PoP    `json:"pops"`
+	Routers []topology.Router `json:"routers"`
+	Links   []topology.Link   `json:"links"`
+}
+
+// Save writes the scenario (topology + full demand series) as JSON.
+func (sc *Scenario) Save(w io.Writer) error {
+	f := file{
+		Region: sc.Region,
+		Network: networkFile{
+			Name: sc.Net.Name, PoPs: sc.Net.PoPs,
+			Routers: sc.Net.Routers, Links: sc.Net.Links,
+		},
+		Traffic: sc.Series.Cfg,
+		Times:   sc.Series.Times,
+		Fanouts: sc.Series.BaseFanouts,
+		Weights: sc.Series.PoPWeights,
+	}
+	f.Demands = make([][]float64, len(sc.Series.Demands))
+	for k, d := range sc.Series.Demands {
+		f.Demands[k] = d
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// SaveFile writes the scenario to the named file.
+func (sc *Scenario) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("netsim: save: %w", err)
+	}
+	defer f.Close()
+	if err := sc.Save(f); err != nil {
+		return fmt.Errorf("netsim: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a scenario written by Save, rebuilding the routing matrix from
+// the stored topology.
+func Load(r io.Reader) (*Scenario, error) {
+	var f file
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("netsim: load: %w", err)
+	}
+	net, err := topology.FromParts(f.Network.Name, f.Network.PoPs, f.Network.Routers, f.Network.Links)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: load network: %w", err)
+	}
+	rt, err := net.Route()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: load routing: %w", err)
+	}
+	n := net.NumPoPs()
+	series := &traffic.Series{
+		Cfg: f.Traffic, N: n, P: net.NumPairs(),
+		Times:       f.Times,
+		BaseFanouts: f.Fanouts,
+		PoPWeights:  f.Weights,
+	}
+	series.Demands = make([]linalg.Vector, len(f.Demands))
+	for k, d := range f.Demands {
+		if len(d) != series.P {
+			return nil, fmt.Errorf("netsim: load: interval %d has %d demands, want %d", k, len(d), series.P)
+		}
+		series.Demands[k] = d
+	}
+	return &Scenario{Region: f.Region, Net: net, Rt: rt, Series: series}, nil
+}
+
+// LoadFile reads a scenario from the named file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

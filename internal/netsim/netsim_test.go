@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEurope(t *testing.T) {
+	sc, err := BuildEurope(1)
+	if err != nil {
+		t.Fatalf("BuildEurope: %v", err)
+	}
+	if sc.Net.NumPoPs() != 12 || sc.Net.InteriorLinks() != 72 || sc.Series.P != 132 {
+		t.Fatalf("unexpected dimensions: %d PoPs, %d interior links, %d pairs",
+			sc.Net.NumPoPs(), sc.Net.InteriorLinks(), sc.Series.P)
+	}
+}
+
+func TestBuildAmerica(t *testing.T) {
+	sc, err := BuildAmerica(1)
+	if err != nil {
+		t.Fatalf("BuildAmerica: %v", err)
+	}
+	if sc.Net.NumPoPs() != 25 || sc.Net.InteriorLinks() != 284 || sc.Series.P != 600 {
+		t.Fatalf("unexpected dimensions")
+	}
+}
+
+func TestLinkLoadsConsistent(t *testing.T) {
+	sc, err := BuildEurope(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := sc.LinkLoads(100)
+	want := sc.Rt.R.MulVec(nil, sc.Series.Demands[100])
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatal("LinkLoads inconsistent with R·s")
+		}
+	}
+	series := sc.LoadSeries(10, 3)
+	if len(series) != 3 {
+		t.Fatalf("LoadSeries length %d", len(series))
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	sc, err := BuildEurope(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, inst, th, err := sc.Snapshot(50)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(truth) != 132 || th <= 0 {
+		t.Fatalf("snapshot truth %d, threshold %v", len(truth), th)
+	}
+	if math.Abs(inst.TotalTraffic()-truth.Sum()) > 1e-6*truth.Sum() {
+		t.Fatal("instance total inconsistent with truth")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sc, err := BuildEurope(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Region != sc.Region || back.Net.NumPoPs() != sc.Net.NumPoPs() {
+		t.Fatal("region/topology mismatch after round trip")
+	}
+	if len(back.Series.Demands) != len(sc.Series.Demands) {
+		t.Fatal("series length mismatch")
+	}
+	for k := range sc.Series.Demands {
+		for p := range sc.Series.Demands[k] {
+			if back.Series.Demands[k][p] != sc.Series.Demands[k][p] {
+				t.Fatal("demand mismatch after round trip")
+			}
+		}
+	}
+	// Routing must be identical (it is recomputed from the same topology).
+	for l := 0; l < sc.Rt.R.Rows(); l++ {
+		if sc.Rt.R.RowNNZ(l) != back.Rt.R.RowNNZ(l) {
+			t.Fatal("routing mismatch after round trip")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sc, err := BuildEurope(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := sc.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Series.P != sc.Series.P {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := LoadFile("/nonexistent/path.json"); err == nil {
+		t.Fatal("expected open error")
+	}
+}

@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// LinOp is a linear operator with products against vectors. Both
+// *sparse.Matrix and the DenseOp wrapper satisfy it.
+type LinOp interface {
+	MulVec(dst, x linalg.Vector) linalg.Vector
+	MulVecT(dst, x linalg.Vector) linalg.Vector
+	Rows() int
+	Cols() int
+}
+
+// DenseOp adapts a dense *linalg.Matrix to the LinOp interface.
+type DenseOp struct{ M *linalg.Matrix }
+
+// MulVec computes dst = M·x.
+func (o DenseOp) MulVec(dst, x linalg.Vector) linalg.Vector { return o.M.MulVec(dst, x) }
+
+// MulVecT computes dst = Mᵀ·x.
+func (o DenseOp) MulVecT(dst, x linalg.Vector) linalg.Vector { return o.M.MulVecT(dst, x) }
+
+// Rows returns the row count.
+func (o DenseOp) Rows() int { return o.M.Rows }
+
+// Cols returns the column count.
+func (o DenseOp) Cols() int { return o.M.Cols }
+
+// OperatorNormSq estimates ‖A‖₂² (the largest eigenvalue of AᵀA) by power
+// iteration, within a few percent — sufficient for a safe gradient step.
+func OperatorNormSq(a LinOp) float64 {
+	n := a.Cols()
+	if n == 0 || a.Rows() == 0 {
+		return 0
+	}
+	x := linalg.NewVector(n)
+	for i := range x {
+		x[i] = 1 + float64(i%7)*0.1 // deterministic, not axis-aligned
+	}
+	y := linalg.NewVector(a.Rows())
+	z := linalg.NewVector(n)
+	var lam float64
+	for iter := 0; iter < 60; iter++ {
+		a.MulVec(y, x)
+		a.MulVecT(z, y)
+		nz := z.Norm2()
+		if nz == 0 {
+			return 0
+		}
+		newLam := linalg.Dot(x, z) / linalg.Dot(x, x)
+		copy(x, z)
+		x.Scale(1 / nz)
+		if iter > 4 && math.Abs(newLam-lam) <= 1e-6*newLam {
+			return newLam * 1.02
+		}
+		lam = newLam
+	}
+	return lam * 1.05
+}
+
+// FISTAResult reports how an accelerated projected-gradient run ended.
+type FISTAResult struct {
+	Iterations int
+	Converged  bool
+}
+
+// FISTA minimizes a smooth convex function with L-Lipschitz gradient over a
+// convex set, using Beck & Teboulle's accelerated projected gradient with
+// restart on non-monotonicity. grad must write ∇f(x) into dst; project must
+// project its argument onto the feasible set in place. x is updated in
+// place and also returned.
+func FISTA(x linalg.Vector, grad func(dst, x linalg.Vector), l float64, project func(linalg.Vector), maxIter int, tol float64) (linalg.Vector, FISTAResult) {
+	n := len(x)
+	if l <= 0 {
+		l = 1
+	}
+	step := 1 / l
+	y := x.Clone()
+	xPrev := x.Clone()
+	g := linalg.NewVector(n)
+	t := 1.0
+	for iter := 0; iter < maxIter; iter++ {
+		grad(g, y)
+		copy(xPrev, x)
+		// x = project(y − step·g)
+		for i := range x {
+			x[i] = y[i] - step*g[i]
+		}
+		project(x)
+		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
+		// Momentum with gradient-based restart: if the update reverses the
+		// momentum direction, reset t (O'Donoghue & Candès).
+		var dot float64
+		for i := range x {
+			dot += (y[i] - x[i]) * (x[i] - xPrev[i])
+		}
+		if dot > 0 {
+			t, tNext = 1, 1
+			copy(y, x)
+		} else {
+			beta := (t - 1) / tNext
+			for i := range y {
+				y[i] = x[i] + beta*(x[i]-xPrev[i])
+			}
+		}
+		t = tNext
+		// Relative-change stopping rule.
+		var diff, norm float64
+		for i := range x {
+			d := x[i] - xPrev[i]
+			diff += d * d
+			norm += x[i] * x[i]
+		}
+		if diff <= tol*tol*(norm+1e-30) {
+			return x, FISTAResult{Iterations: iter + 1, Converged: true}
+		}
+	}
+	return x, FISTAResult{Iterations: maxIter, Converged: false}
+}
+
+// LeastSquaresNonneg solves  min ‖A·x − b‖² + damp·‖x − prior‖²  s.t. x >= 0
+// with FISTA. prior may be nil (treated as the origin) and damp may be 0.
+// x0 may be nil (starts from prior, or zero).
+func LeastSquaresNonneg(a LinOp, b linalg.Vector, prior linalg.Vector, damp float64, x0 linalg.Vector, maxIter int, tol float64) (linalg.Vector, FISTAResult) {
+	n := a.Cols()
+	var x linalg.Vector
+	switch {
+	case x0 != nil:
+		x = x0.Clone()
+	case prior != nil:
+		x = prior.Clone()
+	default:
+		x = linalg.NewVector(n)
+	}
+	x.ClampNonNegative()
+	l := 2*OperatorNormSq(a) + 2*damp
+	r := linalg.NewVector(a.Rows())
+	grad := func(dst, xx linalg.Vector) {
+		a.MulVec(r, xx)
+		linalg.Sub(r, r, b)
+		a.MulVecT(dst, r)
+		dst.Scale(2)
+		if damp > 0 {
+			for i := range dst {
+				p := 0.0
+				if prior != nil {
+					p = prior[i]
+				}
+				dst[i] += 2 * damp * (xx[i] - p)
+			}
+		}
+	}
+	return FISTA(x, grad, l, func(v linalg.Vector) { v.ClampNonNegative() }, maxIter, tol)
+}

@@ -1,0 +1,131 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// IPFResult reports the outcome of an iterative-proportional-fitting run.
+type IPFResult struct {
+	Iterations int
+	Converged  bool
+	MaxError   float64 // largest relative constraint violation at exit
+}
+
+// KruithofBalance implements Kruithof's classical 1937 projection (also
+// known as RAS or biproportional fitting): starting from a prior matrix it
+// alternately rescales rows and columns until the row sums match rowSums and
+// the column sums match colSums. The marginals must have (approximately)
+// equal totals; the prior must be non-negative with at least one positive
+// entry in every row and column whose target marginal is positive.
+//
+// The iterate converges to the matrix that minimizes the KL divergence from
+// the prior subject to the marginal constraints (Krupp 1979).
+func KruithofBalance(prior *linalg.Matrix, rowSums, colSums linalg.Vector, maxIter int, tol float64) (*linalg.Matrix, IPFResult, error) {
+	n, m := prior.Rows, prior.Cols
+	if len(rowSums) != n || len(colSums) != m {
+		return nil, IPFResult{}, errors.New("solver: KruithofBalance marginal size mismatch")
+	}
+	x := prior.Clone()
+	res := IPFResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		// Row scaling.
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			s := row.Sum()
+			switch {
+			case s > 0:
+				f := rowSums[i] / s
+				row.Scale(f)
+			case rowSums[i] > tol:
+				return nil, res, errors.New("solver: KruithofBalance prior has empty row with positive target")
+			}
+		}
+		// Column scaling.
+		for j := 0; j < m; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += x.At(i, j)
+			}
+			switch {
+			case s > 0:
+				f := colSums[j] / s
+				for i := 0; i < n; i++ {
+					x.Set(i, j, x.At(i, j)*f)
+				}
+			case colSums[j] > tol:
+				return nil, res, errors.New("solver: KruithofBalance prior has empty column with positive target")
+			}
+		}
+		res.Iterations = iter + 1
+		// Check convergence on row sums (columns are exact right after the
+		// column scaling step).
+		res.MaxError = 0
+		for i := 0; i < n; i++ {
+			s := x.Row(i).Sum()
+			denom := math.Max(rowSums[i], 1e-30)
+			if e := math.Abs(s-rowSums[i]) / denom; e > res.MaxError {
+				res.MaxError = e
+			}
+		}
+		if res.MaxError <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res, nil
+}
+
+// IterativeScaling implements Krupp's generalization of Kruithof's method to
+// arbitrary non-negative linear constraints A·x = b: cyclic multiplicative
+// Bregman projections onto each constraint. For 0/1 constraint matrices
+// (routing matrices) the projection onto constraint l multiplies every
+// x_j with a_lj = 1 by b_l / (A·x)_l. The iterate stays on the prior's
+// support and converges to the KL projection of the prior onto the
+// constraint set when the system is consistent.
+func IterativeScaling(a *sparse.Matrix, b linalg.Vector, prior linalg.Vector, maxIter int, tol float64) (linalg.Vector, IPFResult) {
+	x := prior.Clone()
+	x.ClampNonNegative()
+	res := IPFResult{}
+	ax := linalg.NewVector(a.Rows())
+	for iter := 0; iter < maxIter; iter++ {
+		for l := 0; l < a.Rows(); l++ {
+			// Current value of constraint l.
+			var s float64
+			a.Row(l, func(c int, v float64) { s += v * x[c] })
+			if s <= 0 {
+				continue // constraint unreachable on this support
+			}
+			f := b[l] / s
+			if f <= 0 {
+				f = 0
+			}
+			// Multiplicative update on the support of row l, tempered for
+			// non-0/1 coefficients by exponent v (exact for v=1).
+			a.Row(l, func(c int, v float64) {
+				if v == 1 {
+					x[c] *= f
+				} else if v > 0 {
+					x[c] *= math.Pow(f, v)
+				}
+			})
+		}
+		res.Iterations = iter + 1
+		a.MulVec(ax, x)
+		res.MaxError = 0
+		for l := range ax {
+			denom := math.Max(math.Abs(b[l]), 1e-30)
+			if e := math.Abs(ax[l]-b[l]) / denom; e > res.MaxError {
+				res.MaxError = e
+			}
+		}
+		if res.MaxError <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res
+}

@@ -1,0 +1,55 @@
+package solver
+
+import "sort"
+
+// ProjectSimplex overwrites v with its Euclidean projection onto the scaled
+// probability simplex { x >= 0 : Σ x_i = radius }. It implements the exact
+// O(n log n) sort-based algorithm (Held, Wolfe & Crowder 1974).
+func ProjectSimplex(v []float64, radius float64) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	if radius <= 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	u := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cssv float64
+	rho := -1
+	var theta float64
+	for i, ui := range u {
+		cssv += ui
+		t := (cssv - radius) / float64(i+1)
+		if ui-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// All mass concentrates on the largest coordinate.
+		theta = u[0] - radius
+	}
+	for i := range v {
+		x := v[i] - theta
+		if x < 0 {
+			x = 0
+		}
+		v[i] = x
+	}
+}
+
+// ProjectBox overwrites v with its projection onto { x : lo <= x_i <= hi }.
+// Use lo = 0, hi = +Inf for the non-negative orthant.
+func ProjectBox(v []float64, lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}

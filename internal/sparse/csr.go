@@ -1,0 +1,264 @@
+// Package sparse implements compressed sparse row (CSR) matrices.
+//
+// Routing matrices are extremely sparse 0/1 matrices (a demand crosses only
+// the links on its path), and the second-moment systems used by Vardi's
+// method blow up to L(L+1)/2 rows; CSR keeps both the memory footprint and
+// the matrix-vector products proportional to the number of nonzeros.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Matrix is an immutable CSR matrix. Construct one with a Builder or from
+// triplets via NewFromTriplets.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int     // len rows+1
+	colIdx     []int     // len nnz
+	val        []float64 // len nnz
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.val) }
+
+// Builder accumulates entries row by row to build a CSR matrix. Entries may
+// be added to any row in any order; duplicates within a row are summed.
+type Builder struct {
+	rows, cols int
+	entries    []triplet
+}
+
+type triplet struct {
+	r, c int
+	v    float64
+}
+
+// NewBuilder returns a Builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at position (r, c). Zero values are dropped.
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of bounds for %dx%d", r, c, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, triplet{r, c, v})
+}
+
+// Build finalizes the matrix. The Builder may be reused afterwards but
+// starts empty.
+func (b *Builder) Build() *Matrix {
+	m := NewFromTriplets(b.rows, b.cols, b.entries)
+	b.entries = nil
+	return m
+}
+
+// NewFromTriplets builds a CSR matrix from (row, col, value) triplets,
+// summing duplicates.
+func NewFromTriplets(rows, cols int, ts []triplet) *Matrix {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].r != ts[j].r {
+			return ts[i].r < ts[j].r
+		}
+		return ts[i].c < ts[j].c
+	})
+	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(ts); {
+		j := i + 1
+		v := ts[i].v
+		for j < len(ts) && ts[j].r == ts[i].r && ts[j].c == ts[i].c {
+			v += ts[j].v
+			j++
+		}
+		if v != 0 {
+			m.colIdx = append(m.colIdx, ts[i].c)
+			m.val = append(m.val, v)
+			m.rowPtr[ts[i].r+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// NewFromDense converts a dense matrix to CSR, dropping exact zeros.
+func NewFromDense(d *linalg.Matrix) *Matrix {
+	b := NewBuilder(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j, x := range d.Row(i) {
+			if x != 0 {
+				b.Add(i, j, x)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToDense converts m to a dense matrix.
+func (m *Matrix) ToDense() *linalg.Matrix {
+	d := linalg.NewMatrix(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			d.Set(r, m.colIdx[k], m.val[k])
+		}
+	}
+	return d
+}
+
+// At returns element (r, c) (O(log nnz-in-row)).
+func (m *Matrix) At(r, c int) float64 {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], c)
+	if k < hi && m.colIdx[k] == c {
+		return m.val[k]
+	}
+	return 0
+}
+
+// Row calls fn(col, val) for each stored entry in row r, in column order.
+func (m *Matrix) Row(r int, fn func(c int, v float64)) {
+	for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+		fn(m.colIdx[k], m.val[k])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row r.
+func (m *Matrix) RowNNZ(r int) int { return m.rowPtr[r+1] - m.rowPtr[r] }
+
+// MulVec computes dst = m·x. If dst is nil a new vector is allocated.
+// dst must not alias x.
+func (m *Matrix) MulVec(dst, x linalg.Vector) linalg.Vector {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec shape mismatch %dx%d * %d", m.rows, m.cols, len(x)))
+	}
+	if dst == nil {
+		dst = linalg.NewVector(m.rows)
+	} else if len(dst) != m.rows {
+		panic("sparse: MulVec bad dst length")
+	}
+	for r := 0; r < m.rows; r++ {
+		var s float64
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		dst[r] = s
+	}
+	return dst
+}
+
+// MulVecT computes dst = mᵀ·x. If dst is nil a new vector is allocated.
+// dst must not alias x.
+func (m *Matrix) MulVecT(dst, x linalg.Vector) linalg.Vector {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecT shape mismatch %dx%d^T * %d", m.rows, m.cols, len(x)))
+	}
+	if dst == nil {
+		dst = linalg.NewVector(m.cols)
+	} else if len(dst) != m.cols {
+		panic("sparse: MulVecT bad dst length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			dst[m.colIdx[k]] += m.val[k] * xr
+		}
+	}
+	return dst
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *Matrix) T() *Matrix {
+	b := NewBuilder(m.cols, m.rows)
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			b.Add(m.colIdx[k], r, m.val[k])
+		}
+	}
+	return b.Build()
+}
+
+// SelectRows returns a new matrix consisting of the given rows of m, in
+// order. Row indices may repeat.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	b := NewBuilder(len(rows), m.cols)
+	for i, r := range rows {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			b.Add(i, m.colIdx[k], m.val[k])
+		}
+	}
+	return b.Build()
+}
+
+// Scale returns a new matrix with every entry multiplied by a.
+func (m *Matrix) Scale(a float64) *Matrix {
+	s := &Matrix{rows: m.rows, cols: m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		val:    make([]float64, len(m.val)),
+	}
+	for i, v := range m.val {
+		s.val[i] = v * a
+	}
+	return s
+}
+
+// VStack stacks matrices vertically. All must share the same column count.
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("sparse: VStack of nothing")
+	}
+	cols := ms[0].cols
+	rows := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			panic("sparse: VStack column mismatch")
+		}
+		rows += m.rows
+	}
+	b := NewBuilder(rows, cols)
+	off := 0
+	for _, m := range ms {
+		for r := 0; r < m.rows; r++ {
+			for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+				b.Add(off+r, m.colIdx[k], m.val[k])
+			}
+		}
+		off += m.rows
+	}
+	return b.Build()
+}
+
+// ColumnSupport returns, for each column, the list of rows with a nonzero
+// entry in that column.
+func (m *Matrix) ColumnSupport() [][]int {
+	sup := make([][]int, m.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+			c := m.colIdx[k]
+			sup[c] = append(sup[c], r)
+		}
+	}
+	return sup
+}

@@ -1,0 +1,176 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func scenario(t *testing.T) (*topology.Network, *topology.Routing, linalg.Vector) {
+	t.Helper()
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatalf("BuildEurope: %v", err)
+	}
+	truth, _, _, err := sc.Snapshot(50)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return sc.Net, sc.Rt, truth
+}
+
+func TestUtilizationsMatchLoads(t *testing.T) {
+	net, rt, s := scenario(t)
+	u := Utilizations(rt, s)
+	loads := rt.LinkLoads(s)
+	for _, l := range net.Links {
+		switch l.Kind {
+		case topology.Interior:
+			want := loads[l.ID] / l.CapacityMbps
+			if math.Abs(u[l.ID]-want) > 1e-12 {
+				t.Fatalf("link %d utilization %v, want %v", l.ID, u[l.ID], want)
+			}
+		default:
+			if u[l.ID] != 0 {
+				t.Fatalf("access link %d has interior utilization %v", l.ID, u[l.ID])
+			}
+		}
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	_, rt, s := scenario(t)
+	max, at := MaxUtilization(rt, s)
+	if at < 0 || max <= 0 {
+		t.Fatalf("MaxUtilization = %v at %d", max, at)
+	}
+	u := Utilizations(rt, s)
+	for i, v := range u {
+		if v > max+1e-12 {
+			t.Fatalf("link %d utilization %v exceeds reported max %v", i, v, max)
+		}
+	}
+	if math.Abs(u[at]-max) > 1e-12 {
+		t.Fatal("reported argmax does not attain the max")
+	}
+}
+
+func TestTopLinksSortedAndInterior(t *testing.T) {
+	net, rt, s := scenario(t)
+	u := Utilizations(rt, s)
+	top := TopLinks(rt, s, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopLinks returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if u[top[i]] > u[top[i-1]]+1e-12 {
+			t.Fatal("TopLinks not sorted")
+		}
+	}
+	for _, id := range top {
+		if net.Links[id].Kind != topology.Interior {
+			t.Fatal("TopLinks returned a non-interior link")
+		}
+	}
+	if got := TopLinks(rt, s, 10_000); len(got) != net.InteriorLinks() {
+		t.Fatalf("k clamp failed: %d", len(got))
+	}
+}
+
+func TestCompareDecisionsPerfectEstimate(t *testing.T) {
+	_, rt, s := scenario(t)
+	rep := CompareDecisions(rt, s, s, 10)
+	if rep.MaxUtilRelErr != 0 || rep.HotSetOverlap != 1 || rep.MeanLinkRelErr != 0 {
+		t.Fatalf("perfect estimate should score perfectly: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestCompareDecisionsScaledEstimate(t *testing.T) {
+	_, rt, s := scenario(t)
+	est := s.Clone()
+	est.Scale(1.2)
+	rep := CompareDecisions(rt, s, est, 10)
+	if math.Abs(rep.MaxUtilRelErr-0.2) > 1e-9 {
+		t.Fatalf("uniform 20%% overestimate should give 20%% max-util error, got %v", rep.MaxUtilRelErr)
+	}
+	if rep.HotSetOverlap != 1 {
+		t.Fatalf("scaling must not change the hot set: %v", rep.HotSetOverlap)
+	}
+	if math.Abs(rep.MeanLinkRelErr-0.2) > 1e-9 {
+		t.Fatalf("mean link error %v, want 0.2", rep.MeanLinkRelErr)
+	}
+}
+
+func TestFailureImpactIncreasesUtilization(t *testing.T) {
+	net, rt, s := scenario(t)
+	base, _ := MaxUtilization(rt, s)
+	// Fail the most utilized adjacency: rerouting must not reduce the max
+	// utilization below the unfailed network's.
+	top := TopLinks(rt, s, 1)
+	after, err := FailureImpact(net, s, top[0])
+	if err != nil {
+		t.Fatalf("FailureImpact: %v", err)
+	}
+	if after < base-1e-9 {
+		t.Fatalf("failing the hottest link reduced max utilization: %v -> %v", base, after)
+	}
+}
+
+func TestFailureImpactRejectsAccessLink(t *testing.T) {
+	net, _, s := scenario(t)
+	var access int
+	for _, l := range net.Links {
+		if l.Kind == topology.Ingress {
+			access = l.ID
+			break
+		}
+	}
+	if _, err := FailureImpact(net, s, access); err == nil {
+		t.Fatal("expected error for non-interior link")
+	}
+}
+
+func TestWorstCaseFailure(t *testing.T) {
+	net, rt, s := scenario(t)
+	worst, maxU, err := WorstCaseFailure(net, s)
+	if err != nil {
+		t.Fatalf("WorstCaseFailure: %v", err)
+	}
+	if worst < 0 {
+		t.Fatal("no worst link found")
+	}
+	base, _ := MaxUtilization(rt, s)
+	if maxU < base-1e-9 {
+		t.Fatalf("worst-case failure utilization %v below baseline %v", maxU, base)
+	}
+	// Verify the reported link is actually the argmax over a few samples.
+	u, err := FailureImpact(net, s, worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-maxU) > 1e-9 {
+		t.Fatalf("reported worst utilization %v, recomputed %v", maxU, u)
+	}
+}
+
+func TestRemoveAdjacencyKeepsValidNetwork(t *testing.T) {
+	net, _, _ := scenario(t)
+	before := net.InteriorLinks()
+	removed := topology.RemoveAdjacency(net, 0)
+	if removed.InteriorLinks() != before-2 {
+		t.Fatalf("interior links %d, want %d", removed.InteriorLinks(), before-2)
+	}
+	if _, err := removed.Route(); err != nil {
+		t.Fatalf("routing after removal: %v", err)
+	}
+	// Original untouched.
+	if net.InteriorLinks() != before {
+		t.Fatal("RemoveAdjacency mutated its input")
+	}
+}

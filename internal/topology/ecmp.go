@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// RouteECMP computes equal-cost multipath routing: each demand is split
+// evenly over all metric-shortest paths between its head-end routers, the
+// way OSPF/IS-IS ECMP splits flows in practice. The resulting routing
+// matrix has fractional entries, the generalization the paper notes below
+// equation (1) ("the routing matrix may easily be transformed to reflect a
+// situation where traffic demands are routed on more than one path ... by
+// allowing fractional values").
+//
+// The per-link fractions are computed exactly by shortest-path DAG counting
+// (as in betweenness centrality): with σ(v) shortest paths from the source
+// to v, the share of traffic crossing DAG edge (u, v) equals the product of
+// the split fractions along each path, summed over paths — evaluated in
+// O(E) by a topological sweep.
+func (n *Network) RouteECMP() (*Routing, error) {
+	p := n.NumPairs()
+	rt := &Routing{Net: n, PairPaths: make([][]int, p)}
+	b := sparse.NewBuilder(n.NumLinks(), p)
+	// Group demands by source head-end so each Dijkstra run serves N-1
+	// demands.
+	bySrc := map[int][]int{}
+	for pair := 0; pair < p; pair++ {
+		src, _ := n.PairFromIndex(pair)
+		bySrc[n.HeadEnd(src)] = append(bySrc[n.HeadEnd(src)], pair)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	for _, srcRouter := range srcs {
+		dist, dagIn := n.shortestPathDAG(srcRouter)
+		for _, pair := range bySrc[srcRouter] {
+			_, dstPoP := n.PairFromIndex(pair)
+			dstRouter := n.HeadEnd(dstPoP)
+			if math.IsInf(dist[dstRouter], 1) {
+				return nil, &unreachableError{src: srcRouter, dst: dstRouter}
+			}
+			// Restrict the shortest-path DAG to the ancestors of dst
+			// (routers that lie on some shortest path to it).
+			seen := map[int]bool{dstRouter: true}
+			stack := []int{dstRouter}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, lid := range dagIn[v] {
+					u := n.Links[lid].Src
+					if !seen[u] {
+						seen[u] = true
+						stack = append(stack, u)
+					}
+				}
+			}
+			// Restricted out-edges per router (forward ECMP split set).
+			outEdges := map[int][]int{}
+			order := make([]int, 0, len(seen))
+			for v := range seen {
+				order = append(order, v)
+				for _, lid := range dagIn[v] {
+					u := n.Links[lid].Src
+					outEdges[u] = append(outEdges[u], lid)
+				}
+			}
+			sort.Slice(order, func(a, c int) bool {
+				if dist[order[a]] != dist[order[c]] {
+					return dist[order[a]] < dist[order[c]]
+				}
+				return order[a] < order[c]
+			})
+			// Forward sweep: at each router the passing share splits
+			// equally over its next hops toward dst, exactly like
+			// OSPF/IS-IS ECMP.
+			frac := map[int]float64{srcRouter: 1}
+			var pathLinks []int
+			for _, u := range order {
+				fu := frac[u]
+				outs := outEdges[u]
+				if fu == 0 || len(outs) == 0 {
+					continue
+				}
+				share := fu / float64(len(outs))
+				// Deterministic output order.
+				sort.Ints(outs)
+				for _, lid := range outs {
+					b.Add(lid, pair, share)
+					pathLinks = append(pathLinks, lid)
+					frac[n.Links[lid].Dst] += share
+				}
+			}
+			rt.PairPaths[pair] = pathLinks
+		}
+	}
+	// Access rows are unchanged: every demand fully enters and exits once.
+	for _, l := range n.Links {
+		switch l.Kind {
+		case Ingress:
+			for dst := range n.PoPs {
+				if dst != l.Src {
+					b.Add(l.ID, n.PairIndex(l.Src, dst), 1)
+				}
+			}
+		case Egress:
+			for src := range n.PoPs {
+				if src != l.Dst {
+					b.Add(l.ID, n.PairIndex(src, l.Dst), 1)
+				}
+			}
+		}
+	}
+	rt.R = b.Build()
+	return rt, nil
+}
+
+type unreachableError struct{ src, dst int }
+
+func (e *unreachableError) Error() string {
+	return "topology: ECMP: unreachable router pair"
+}
+
+// shortestPathDAG runs Dijkstra from src and returns the distance array and,
+// for every router v, the incoming interior links that lie on some shortest
+// path from src to v.
+func (n *Network) shortestPathDAG(src int) ([]float64, [][]int) {
+	const eps = 1e-9
+	dist := make([]float64, len(n.Routers))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{}
+	heap.Init(pq)
+	heap.Push(pq, &dijkstraItem{router: src, dist: 0})
+	done := make([]bool, len(n.Routers))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*dijkstraItem)
+		u := it.router
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, lid := range n.outLinks[u] {
+			l := &n.Links[lid]
+			if nd := dist[u] + l.Metric; nd < dist[l.Dst]-eps {
+				dist[l.Dst] = nd
+				heap.Push(pq, &dijkstraItem{router: l.Dst, dist: nd})
+			}
+		}
+	}
+	dagIn := make([][]int, len(n.Routers))
+	for _, l := range n.Links {
+		if l.Kind != Interior {
+			continue
+		}
+		if math.IsInf(dist[l.Src], 1) {
+			continue
+		}
+		if math.Abs(dist[l.Src]+l.Metric-dist[l.Dst]) <= eps*(1+dist[l.Dst]) {
+			dagIn[l.Dst] = append(dagIn[l.Dst], l.ID)
+		}
+	}
+	return dist, dagIn
+}

@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// diamond builds a 4-PoP network where A→D has exactly two equal-cost
+// two-hop paths (via B and via C).
+func diamond(t *testing.T) *Network {
+	t.Helper()
+	net := &Network{
+		Name: "diamond",
+		PoPs: []PoP{
+			{ID: 0, Name: "A", Routers: []int{0}},
+			{ID: 1, Name: "B", Routers: []int{1}},
+			{ID: 2, Name: "C", Routers: []int{2}},
+			{ID: 3, Name: "D", Routers: []int{3}},
+		},
+		Routers: []Router{{0, 0, "a"}, {1, 1, "b"}, {2, 2, "c"}, {3, 3, "d"}},
+	}
+	add := func(kind LinkKind, src, dst int, metric float64) {
+		net.Links = append(net.Links, Link{
+			ID: len(net.Links), Kind: kind, Src: src, Dst: dst,
+			CapacityMbps: 1e6, Metric: metric,
+		})
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		add(Interior, e[0], e[1], 1)
+		add(Interior, e[1], e[0], 1)
+	}
+	for i := 0; i < 4; i++ {
+		add(Ingress, i, i, 0)
+		add(Egress, i, i, 0)
+	}
+	if err := net.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return net
+}
+
+func TestECMPSplitsEvenlyOnDiamond(t *testing.T) {
+	net := diamond(t)
+	rt, err := net.RouteECMP()
+	if err != nil {
+		t.Fatalf("RouteECMP: %v", err)
+	}
+	pAD := net.PairIndex(0, 3)
+	// The A→D demand must put exactly 0.5 on each of the four interior
+	// links of the two paths.
+	var halves, others int
+	for _, l := range net.Links {
+		if l.Kind != Interior {
+			continue
+		}
+		v := rt.R.At(l.ID, pAD)
+		switch {
+		case math.Abs(v-0.5) < 1e-12:
+			halves++
+		case v == 0:
+			others++
+		default:
+			t.Fatalf("link %d has fraction %v, want 0 or 0.5", l.ID, v)
+		}
+	}
+	if halves != 4 {
+		t.Fatalf("%d links carry 1/2, want 4", halves)
+	}
+}
+
+func TestECMPMatchesSinglePathWhenUnique(t *testing.T) {
+	// With unique shortest paths (Euclidean metrics), ECMP must coincide
+	// with single-path routing.
+	net := Europe(1)
+	single, err := net.Route()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecmp, err := net.RouteECMP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < net.NumPairs(); p++ {
+		for _, l := range net.Links {
+			a := single.R.At(l.ID, p)
+			b := ecmp.R.At(l.ID, p)
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("pair %d link %d: single %v vs ecmp %v", p, l.ID, a, b)
+			}
+		}
+	}
+}
+
+// Property: ECMP link loads conserve flow and each demand's ingress/egress
+// fraction is exactly 1.
+func TestECMPFlowConservation(t *testing.T) {
+	net := diamond(t)
+	rt, err := net.RouteECMP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < net.NumPairs(); p++ {
+		srcPoP, dstPoP := net.PairFromIndex(p)
+		s := linalg.NewVector(net.NumPairs())
+		s[p] = 1
+		loads := rt.LinkLoads(s)
+		in := make([]float64, len(net.Routers))
+		out := make([]float64, len(net.Routers))
+		for _, l := range net.Links {
+			if l.Kind != Interior {
+				continue
+			}
+			out[l.Src] += loads[l.ID]
+			in[l.Dst] += loads[l.ID]
+		}
+		for r := range net.Routers {
+			net1 := out[r] - in[r]
+			want := 0.0
+			if r == net.HeadEnd(srcPoP) {
+				want = 1
+			} else if r == net.HeadEnd(dstPoP) {
+				want = -1
+			}
+			if math.Abs(net1-want) > 1e-9 {
+				t.Fatalf("pair %d router %d imbalance %v want %v", p, r, net1, want)
+			}
+		}
+		if loads[rt.IngressRow(srcPoP)] != 1 || loads[rt.EgressRow(dstPoP)] != 1 {
+			t.Fatalf("pair %d access rows wrong", p)
+		}
+	}
+}
+
+func TestECMPAmericaRuns(t *testing.T) {
+	net := America(1)
+	rt, err := net.RouteECMP()
+	if err != nil {
+		t.Fatalf("RouteECMP: %v", err)
+	}
+	if rt.R.Rows() != net.NumLinks() || rt.R.Cols() != net.NumPairs() {
+		t.Fatalf("R is %dx%d", rt.R.Rows(), rt.R.Cols())
+	}
+	// Every demand still fully enters and exits.
+	for p := 0; p < net.NumPairs(); p++ {
+		src, dst := net.PairFromIndex(p)
+		if rt.R.At(rt.IngressRow(src), p) != 1 || rt.R.At(rt.EgressRow(dst), p) != 1 {
+			t.Fatalf("pair %d access coverage wrong", p)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// Routing holds the single-path routes of every ordered PoP pair and the
+// resulting routing matrix R (equation (1) of the paper): R[l][p] = 1 iff
+// the demand of pair p crosses link l. Rows cover all links, access links
+// included, so the ingress row of PoP n is the total traffic entering at n
+// (t_{e(n)}) and the egress row of PoP m is the total leaving at m
+// (t_{x(m)}).
+type Routing struct {
+	Net       *Network
+	PairPaths [][]int // demand p -> interior link IDs along its path
+	R         *sparse.Matrix
+}
+
+// dijkstraItem is a priority-queue entry.
+type dijkstraItem struct {
+	router int
+	dist   float64
+	index  int
+}
+
+type dijkstraPQ []*dijkstraItem
+
+func (q dijkstraPQ) Len() int           { return len(q) }
+func (q dijkstraPQ) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q dijkstraPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *dijkstraPQ) Push(x interface{}) {
+	it := x.(*dijkstraItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *dijkstraPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the interior link IDs of the metric-shortest path
+// from router src to router dst, using only links for which usable returns
+// true (nil means all interior links). Ties are broken deterministically by
+// preferring the lexicographically smallest link-ID sequence (achieved by a
+// strict improvement test plus ordered edge relaxation). Returns an error
+// if dst is unreachable.
+func (n *Network) ShortestPath(src, dst int, usable func(*Link) bool) ([]int, error) {
+	const eps = 1e-12
+	dist := make([]float64, len(n.Routers))
+	prevLink := make([]int, len(n.Routers))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{}
+	heap.Init(pq)
+	heap.Push(pq, &dijkstraItem{router: src, dist: 0})
+	done := make([]bool, len(n.Routers))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*dijkstraItem)
+		u := it.router
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, lid := range n.outLinks[u] {
+			l := &n.Links[lid]
+			if usable != nil && !usable(l) {
+				continue
+			}
+			v := l.Dst
+			nd := dist[u] + l.Metric
+			if nd < dist[v]-eps {
+				dist[v] = nd
+				prevLink[v] = lid
+				heap.Push(pq, &dijkstraItem{router: v, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, fmt.Errorf("topology: router %d unreachable from %d", dst, src)
+	}
+	var path []int
+	for v := dst; v != src; {
+		lid := prevLink[v]
+		path = append(path, lid)
+		v = n.Links[lid].Src
+	}
+	// Reverse into src→dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Route computes shortest-path routes for every ordered PoP pair between
+// head-end routers and assembles the routing matrix. It is the plain
+// (capacity-oblivious) routing used when LSP reservations are far below
+// capacity.
+func (n *Network) Route() (*Routing, error) {
+	return n.routeWith(nil, nil)
+}
+
+// RouteCSPF emulates constraint-based shortest-path routing the way the
+// paper's network operates: LSPs are placed in descending bandwidth order,
+// each on the metric-shortest path among links with sufficient unreserved
+// capacity; if no such path exists the LSP falls back to the unconstrained
+// shortest path (and the link is oversubscribed, as RSVP setup would simply
+// fail and operators re-dimension). bandwidth[p] is the LSP reservation for
+// demand p in Mbps.
+func (n *Network) RouteCSPF(bandwidth linalg.Vector) (*Routing, error) {
+	if len(bandwidth) != n.NumPairs() {
+		return nil, fmt.Errorf("topology: RouteCSPF wants %d bandwidths, got %d", n.NumPairs(), len(bandwidth))
+	}
+	order := make([]int, n.NumPairs())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return bandwidth[order[a]] > bandwidth[order[b]] })
+	reserved := make([]float64, len(n.Links))
+	usable := func(bw float64) func(*Link) bool {
+		return func(l *Link) bool { return reserved[l.ID]+bw <= l.CapacityMbps }
+	}
+	return n.routeWith(order, func(p int) (func(*Link) bool, func(path []int)) {
+		bw := bandwidth[p]
+		return usable(bw), func(path []int) {
+			for _, lid := range path {
+				reserved[lid] += bw
+			}
+		}
+	})
+}
+
+// routeWith routes all pairs. order may be nil (natural order); constrain,
+// when non-nil, returns for each pair a usability filter and a commit hook.
+func (n *Network) routeWith(order []int, constrain func(p int) (func(*Link) bool, func([]int))) (*Routing, error) {
+	p := n.NumPairs()
+	rt := &Routing{Net: n, PairPaths: make([][]int, p)}
+	if order == nil {
+		order = make([]int, p)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, pair := range order {
+		src, dst := n.PairFromIndex(pair)
+		var usable func(*Link) bool
+		var commit func([]int)
+		if constrain != nil {
+			usable, commit = constrain(pair)
+		}
+		path, err := n.ShortestPath(n.HeadEnd(src), n.HeadEnd(dst), usable)
+		if err != nil && usable != nil {
+			// CSPF fallback: ignore capacity.
+			path, err = n.ShortestPath(n.HeadEnd(src), n.HeadEnd(dst), nil)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("topology: pair %d (%s→%s): %w",
+				pair, n.PoPs[src].Name, n.PoPs[dst].Name, err)
+		}
+		if commit != nil {
+			commit(path)
+		}
+		rt.PairPaths[pair] = path
+	}
+	rt.R = rt.buildMatrix()
+	return rt, nil
+}
+
+// buildMatrix assembles R from the per-pair paths plus the access rows.
+func (rt *Routing) buildMatrix() *sparse.Matrix {
+	n := rt.Net
+	b := sparse.NewBuilder(n.NumLinks(), n.NumPairs())
+	for p, path := range rt.PairPaths {
+		for _, lid := range path {
+			b.Add(lid, p, 1)
+		}
+	}
+	for _, l := range n.Links {
+		switch l.Kind {
+		case Ingress:
+			srcPoP := l.Src
+			for dst := range n.PoPs {
+				if dst != srcPoP {
+					b.Add(l.ID, n.PairIndex(srcPoP, dst), 1)
+				}
+			}
+		case Egress:
+			dstPoP := l.Dst
+			for src := range n.PoPs {
+				if src != dstPoP {
+					b.Add(l.ID, n.PairIndex(src, dstPoP), 1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// IngressRow returns the row index of PoP n's ingress access link in R.
+func (rt *Routing) IngressRow(pop int) int {
+	for _, l := range rt.Net.Links {
+		if l.Kind == Ingress && l.Src == pop {
+			return l.ID
+		}
+	}
+	panic(fmt.Sprintf("topology: PoP %d has no ingress link", pop))
+}
+
+// EgressRow returns the row index of PoP m's egress access link in R.
+func (rt *Routing) EgressRow(pop int) int {
+	for _, l := range rt.Net.Links {
+		if l.Kind == Egress && l.Dst == pop {
+			return l.ID
+		}
+	}
+	panic(fmt.Sprintf("topology: PoP %d has no egress link", pop))
+}
+
+// LinkLoads computes t = R·s for a demand vector s (equation (2)).
+func (rt *Routing) LinkLoads(s linalg.Vector) linalg.Vector {
+	return rt.R.MulVec(nil, s)
+}
