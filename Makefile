@@ -1,0 +1,30 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so that what
+# passes locally passes there.
+
+GO ?= go
+
+.PHONY: build test test-short bench fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 30m ./...
+
+test-short:
+	$(GO) test -short -race ./...
+
+# Full driver-by-driver benchmarks plus the serial-vs-parallel suite
+# comparison. Narrow with e.g. BENCH='FullSuite'.
+BENCH ?= .
+bench:
+	$(GO) test -bench '$(BENCH)' -benchtime 1x -run '^$$' .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: vet fmt build test-short

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 )
 
 var (
@@ -23,6 +25,9 @@ var (
 
 func benchSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment benchmarks are slow; skipping in -short mode")
+	}
 	suiteOnce.Do(func() { suite, suiteErr = experiments.NewSuite(1) })
 	if suiteErr != nil {
 		b.Fatalf("NewSuite: %v", suiteErr)
@@ -37,11 +42,12 @@ func runDriver(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown driver %s", id)
 	}
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Report
 	for i := 0; i < b.N; i++ {
-		rep, err := d.Run(s)
+		rep, err := d.RunOn(ctx, s)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -54,6 +60,37 @@ func runDriver(b *testing.B, id string) {
 	}
 	b.Log("\n" + sb.String())
 }
+
+// benchFullSuite runs every experiment through the concurrent engine at
+// the given pool size, so serial (1) and parallel (GOMAXPROCS) wall
+// times can be compared directly:
+//
+//	go test -bench 'FullSuite' -benchtime 1x .
+func benchFullSuite(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("full-suite benchmark is slow; skipping in -short mode")
+	}
+	s, err := experiments.NewSuiteWithPool(1, runner.NewPool(workers))
+	if err != nil {
+		b.Fatalf("NewSuiteWithPool: %v", err)
+	}
+	drivers := experiments.AllDrivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(context.Background(), s, drivers, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatalf("%s: %v", res.ID, res.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkFullSuiteSerial(b *testing.B)   { benchFullSuite(b, 1) }
+func BenchmarkFullSuiteParallel(b *testing.B) { benchFullSuite(b, 0) }
 
 func BenchmarkFig01TotalTraffic(b *testing.B)        { runDriver(b, "fig1") }
 func BenchmarkFig02CumulativeDemand(b *testing.B)    { runDriver(b, "fig2") }

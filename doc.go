@@ -14,9 +14,18 @@
 // experiment driver per table and figure of the evaluation section
 // (internal/experiments).
 //
+// The experiment suite runs on a concurrent execution engine
+// (internal/runner): a bounded worker pool sized to the machine schedules
+// whole drivers and the sweep loops inside them, while reports are always
+// emitted in paper order — so the rendered reports of a parallel run are
+// byte-identical to a serial one (tmbench's -quiet flag drops the
+// timing lines, which are the only nondeterministic output).
+//
 // Start with examples/quickstart, or run the full evaluation with
 //
-//	go run ./cmd/tmbench
+//	go run ./cmd/tmbench              # all cores
+//	go run ./cmd/tmbench -parallel 1  # fully serial, same output
+//	go run ./cmd/tmbench -run fig13   # selected experiments
 //
 // The benchmarks in bench_test.go regenerate every table and figure:
 //

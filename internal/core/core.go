@@ -19,6 +19,11 @@ import (
 // corresponding measured link loads t (Mbps). Loads covers every link,
 // access links included, so the marginal totals te(n) and tx(m) of the
 // paper's notation are observable.
+//
+// An Instance is read-only after construction, and every estimation
+// method in this package allocates its own scratch state per call — so a
+// single Instance may be shared freely by concurrent estimator calls
+// (the experiment engine in internal/runner relies on this).
 type Instance struct {
 	Rt    *topology.Routing
 	Loads linalg.Vector

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/stats"
@@ -9,7 +10,7 @@ import (
 // Fig01TotalTraffic reproduces Figure 1: normalized total traffic over the
 // 24-hour period for both subnetworks, showing the diurnal cycle and the
 // partly overlapping busy periods.
-func (s *Suite) Fig01TotalTraffic() (*Report, error) {
+func (s *Suite) Fig01TotalTraffic(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig1", Title: "Total network traffic over time (normalized)"}
 	var mx float64
 	totals := map[string][]float64{}
@@ -41,7 +42,7 @@ func (s *Suite) Fig01TotalTraffic() (*Report, error) {
 // Fig02CumulativeDemand reproduces Figure 2: cumulative traffic share of
 // demands ranked by volume. The paper's headline: the top 20%% of demands
 // carry about 80%% of the traffic in both networks.
-func (s *Suite) Fig02CumulativeDemand() (*Report, error) {
+func (s *Suite) Fig02CumulativeDemand(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig2", Title: "Cumulative demand distribution (ranked by volume)"}
 	r.addf("%-8s %6s %6s %6s %6s %6s", "network", "10%", "20%", "30%", "50%", "75%")
 	for _, reg := range s.regions() {
@@ -63,7 +64,7 @@ func (s *Suite) Fig02CumulativeDemand() (*Report, error) {
 // Fig03SpatialDistribution reproduces Figure 3: the source×destination
 // demand heat map, rendered as a character raster, plus the share of
 // traffic touching the top PoPs.
-func (s *Suite) Fig03SpatialDistribution() (*Report, error) {
+func (s *Suite) Fig03SpatialDistribution(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig3", Title: "Spatial distribution of traffic"}
 	ramp := []byte(" .:-=+*#%@")
 	for _, reg := range s.regions() {
@@ -138,7 +139,7 @@ func fourByFour(reg region) [][]int {
 
 // Fig04DemandTimeSeries reproduces Figure 4: the four largest outgoing
 // demands of the four largest American PoPs over 24 hours.
-func (s *Suite) Fig04DemandTimeSeries() (*Report, error) {
+func (s *Suite) Fig04DemandTimeSeries(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig4", Title: "Four largest demands of the four largest US PoPs over 24h"}
 	reg := s.regions()[1]
 	for _, panel := range fourByFour(reg) {
@@ -160,7 +161,7 @@ func (s *Suite) Fig04DemandTimeSeries() (*Report, error) {
 
 // Fig05FanoutStability reproduces Figure 5: the fanouts of the same
 // demands, which are much more stable than the demands themselves.
-func (s *Suite) Fig05FanoutStability() (*Report, error) {
+func (s *Suite) Fig05FanoutStability(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig5", Title: "Fanouts of the same demands (stability vs Figure 4)"}
 	reg := s.regions()[1]
 	var demandCVs, fanoutCVs []float64
@@ -197,7 +198,7 @@ func (s *Suite) Fig05FanoutStability() (*Report, error) {
 // Var = φ·mean^c. The paper fits (φ=0.82, c=1.6) in Europe and (φ=2.44,
 // c=1.5) in America; the reproduction matches the exponent and the
 // strength of the relation (the absolute φ is scaled down — see DESIGN.md).
-func (s *Suite) Fig06MeanVariance() (*Report, error) {
+func (s *Suite) Fig06MeanVariance(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig6", Title: "Mean-variance scaling law (busy hour, normalized)"}
 	r.addf("%-8s %8s %6s %6s %5s", "network", "phi", "c", "R^2", "n")
 	for _, reg := range s.regions() {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,7 +33,7 @@ func scatterStats(est, truth linalg.Vector, thresh float64) string {
 // Fig07GravityScatter reproduces Figure 7: simple gravity estimates versus
 // the actual demands. Reasonable in Europe, poor in America because of
 // dominant per-source destinations.
-func (s *Suite) Fig07GravityScatter() (*Report, error) {
+func (s *Suite) Fig07GravityScatter(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig7", Title: "Gravity model vs actual demands"}
 	for _, reg := range s.regions() {
 		g := core.Gravity(reg.inst)
@@ -44,7 +45,7 @@ func (s *Suite) Fig07GravityScatter() (*Report, error) {
 
 // Fig08WorstCaseBounds reproduces Figure 8: per-demand LP bounds over
 // {s >= 0 : Rs = t}. Most bounds are non-trivial but relatively loose.
-func (s *Suite) Fig08WorstCaseBounds() (*Report, error) {
+func (s *Suite) Fig08WorstCaseBounds(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig8", Title: "Worst-case bounds on demands"}
 	for _, reg := range s.regions() {
 		b, err := core.WorstCaseBounds(reg.inst)
@@ -80,7 +81,7 @@ func (s *Suite) Fig08WorstCaseBounds() (*Report, error) {
 // Fig09WCBPrior reproduces Figure 9: the midpoint of the worst-case bounds
 // as a demand estimate ("WCB prior"), which the paper found surprisingly
 // accurate.
-func (s *Suite) Fig09WCBPrior() (*Report, error) {
+func (s *Suite) Fig09WCBPrior(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig9", Title: "Priors obtained from worst-case bounds (midpoints)"}
 	for _, reg := range s.regions() {
 		b, err := core.WorstCaseBounds(reg.inst)
@@ -95,38 +96,52 @@ func (s *Suite) Fig09WCBPrior() (*Report, error) {
 
 // Fig10FanoutWindows reproduces Figure 10: fanout-based estimates against
 // the window-average demands for window lengths 1, 3 and 10 (America).
-func (s *Suite) Fig10FanoutWindows() (*Report, error) {
+func (s *Suite) Fig10FanoutWindows(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig10", Title: "Fanout estimation scatter vs window length (America)"}
 	reg := s.regions()[1]
-	for _, k := range []int{1, 3, 10} {
+	windows := []int{1, 3, 10}
+	rows := make([]string, len(windows))
+	err := s.forEach(ctx, len(windows), func(i int) error {
+		k := windows[i]
 		loads := reg.sc.LoadSeries(reg.start, k)
 		est, err := core.EstimateFanouts(reg.sc.Rt, loads, core.DefaultFanoutConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mean := reg.sc.Series.MeanDemand(reg.start, k)
-		r.addf("window %2d: %s", k, scatterStats(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9)))
+		rows[i] = fmt.Sprintf("window %2d: %s", k, scatterStats(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Lines = append(r.Lines, rows...)
 	return r, nil
 }
 
 // Fig11FanoutMRE reproduces Figure 11: fanout-estimation MRE as a function
 // of the window length for both networks. The error drops for short
 // time-series and then levels out.
-func (s *Suite) Fig11FanoutMRE() (*Report, error) {
+func (s *Suite) Fig11FanoutMRE(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig11", Title: "Fanout MRE vs window length"}
 	windows := []int{1, 2, 3, 5, 10, 20, 30, 40}
 	r.addf("%-8s %s", "window:", fmt.Sprint(windows))
 	for _, reg := range s.regions() {
-		var row []float64
-		for _, k := range windows {
+		reg := reg
+		row := make([]float64, len(windows))
+		err := s.forEach(ctx, len(windows), func(i int) error {
+			k := windows[i]
 			loads := reg.sc.LoadSeries(reg.start, k)
 			est, err := core.EstimateFanouts(reg.sc.Rt, loads, core.DefaultFanoutConfig())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mean := reg.sc.Series.MeanDemand(reg.start, k)
-			row = append(row, core.MRE(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9)))
+			row[i] = core.MRE(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9))
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		line := reg.name
 		for _, m := range row {
@@ -140,22 +155,31 @@ func (s *Suite) Fig11FanoutMRE() (*Report, error) {
 
 // Table1Vardi reproduces Table 1: Vardi-method MRE over the busy period
 // (K=50) for σ⁻² = 0.01 and σ⁻² = 1 on both networks.
-func (s *Suite) Table1Vardi() (*Report, error) {
+func (s *Suite) Table1Vardi(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "table1", Title: "Vardi MRE, K=50 (paper: EU 0.47/302, US 0.98/1183)"}
 	r.addf("%-14s %10s %10s", "", "Europe", "America")
-	for _, sig := range []float64{0.01, 1} {
-		var cells []string
-		for _, reg := range s.regions() {
-			loads := reg.sc.LoadSeries(reg.start, BusyWindowSamples)
-			lam, err := core.Vardi(reg.sc.Rt, loads, core.VardiConfig{
-				SigmaInv2: sig, MaxIter: 30000, Tol: 1e-9,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, fmt.Sprintf("%10.2f", core.MRE(lam, reg.truth, reg.thresh)))
+	sigmas := []float64{0.01, 1}
+	regions := s.regions()
+	// Flatten the sigma × region grid so all four Vardi solves can run
+	// at once.
+	cells := make([]string, len(sigmas)*len(regions))
+	err := s.forEach(ctx, len(cells), func(i int) error {
+		sig, reg := sigmas[i/len(regions)], regions[i%len(regions)]
+		loads := reg.sc.LoadSeries(reg.start, BusyWindowSamples)
+		lam, err := core.Vardi(reg.sc.Rt, loads, core.VardiConfig{
+			SigmaInv2: sig, MaxIter: 30000, Tol: 1e-9,
+		})
+		if err != nil {
+			return err
 		}
-		r.addf("sigma^-2=%-5g %s %s", sig, cells[0], cells[1])
+		cells[i] = fmt.Sprintf("%10.2f", core.MRE(lam, reg.truth, reg.thresh))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sig := range sigmas {
+		r.addf("sigma^-2=%-5g %s %s", sig, cells[si*len(regions)], cells[si*len(regions)+1])
 	}
 	return r, nil
 }
@@ -164,30 +188,40 @@ func (s *Suite) Table1Vardi() (*Report, error) {
 // (σ⁻² = 1) as a function of the window size on synthetic traffic whose
 // elements are truly Poisson — isolating the covariance-estimation error
 // that the paper blames for Vardi's poor showing.
-func (s *Suite) Fig12VardiSynthetic() (*Report, error) {
+func (s *Suite) Fig12VardiSynthetic(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig12", Title: "Vardi MRE vs window size, synthetic Poisson traffic (sigma^-2=1)"}
 	windows := []int{20, 50, 100, 200, 400, 800}
 	r.addf("%-8s %s", "window:", fmt.Sprint(windows))
 	for _, reg := range s.regions() {
+		reg := reg
 		// Poisson demands with the busy-period means, scaled down so the
 		// relative Poisson noise is material (as it is at packet scale).
 		mean := reg.truth.Clone()
 		mean.Scale(0.01)
 		th := core.ShareThreshold(mean, 0.9)
-		line := reg.name
-		for _, k := range windows {
+		row := make([]float64, len(windows))
+		err := s.forEach(ctx, len(windows), func(i int) error {
+			k := windows[i]
 			demands := traffic.SyntheticPoisson(mean, k, 99)
 			loads := make([]linalg.Vector, k)
-			for i := range demands {
-				loads[i] = reg.sc.Rt.LinkLoads(demands[i])
+			for j := range demands {
+				loads[j] = reg.sc.Rt.LinkLoads(demands[j])
 			}
 			lam, err := core.Vardi(reg.sc.Rt, loads, core.VardiConfig{
 				SigmaInv2: 1, MaxIter: 30000, Tol: 1e-9,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			line += fmt.Sprintf(" %6.3f", core.MRE(lam, mean, th))
+			row[i] = core.MRE(lam, mean, th)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		line := reg.name
+		for _, m := range row {
+			line += fmt.Sprintf(" %6.3f", m)
 		}
 		r.Lines = append(r.Lines, line)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -119,7 +120,7 @@ func TestAnalysisFigures(t *testing.T) {
 		if !ok {
 			t.Fatalf("driver %s missing", id)
 		}
-		rep, err := d.Run(s)
+		rep, err := d.RunOn(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -144,7 +145,7 @@ func TestEstimationFiguresRun(t *testing.T) {
 	s := getSuite(t)
 	for _, id := range []string{"fig7", "fig9", "fig10", "fig14"} {
 		d, _ := DriverByID(id)
-		rep, err := d.Run(s)
+		rep, err := d.RunOn(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -29,24 +30,33 @@ func AllDrivers() []Driver {
 // the link loads and reports the entropy estimator's MRE. The paper's data
 // set is noise-free by construction (§5.1.4) and §6 lists measurement
 // errors as unexplored.
-func (s *Suite) Ext1NoiseSensitivity() (*Report, error) {
+func (s *Suite) Ext1NoiseSensitivity(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "ext1", Title: "Entropy MRE vs relative measurement noise (reg=1000)"}
 	noises := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.10}
 	r.addf("%-8s %s", "noise:", fmt.Sprint(noises))
 	for _, reg := range s.regions() {
+		reg := reg
 		prior := core.Gravity(reg.inst)
-		line := reg.name
-		for i, noise := range noises {
-			loads := netsim.PerturbLoads(reg.inst.Loads, noise, int64(1000+i))
+		row := make([]float64, len(noises))
+		err := s.forEach(ctx, len(noises), func(i int) error {
+			loads := netsim.PerturbLoads(reg.inst.Loads, noises[i], int64(1000+i))
 			inst, err := core.NewInstance(reg.sc.Rt, loads)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			est, err := core.Entropy(inst, prior, 1000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			line += fmt.Sprintf(" %6.3f", core.MRE(est, reg.truth, reg.thresh))
+			row[i] = core.MRE(est, reg.truth, reg.thresh)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		line := reg.name
+		for _, m := range row {
+			line += fmt.Sprintf(" %6.3f", m)
 		}
 		r.Lines = append(r.Lines, line)
 	}
@@ -59,7 +69,7 @@ func (s *Suite) Ext1NoiseSensitivity() (*Report, error) {
 // benchmark: Vaton & Gravey's iterative Bayesian prior refinement and the
 // Cao et al. scaling-law moment matching (named in §6 as the missing
 // comparison).
-func (s *Suite) Ext2UnevaluatedMethods() (*Report, error) {
+func (s *Suite) Ext2UnevaluatedMethods(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "ext2", Title: "Iterative Bayesian (Vaton) and scaling-law tomography (Cao)"}
 	for _, reg := range s.regions() {
 		prior := core.Gravity(reg.inst)
@@ -101,7 +111,7 @@ func (s *Suite) Ext2UnevaluatedMethods() (*Report, error) {
 // traffic over equal-cost multipaths but the estimator assumes the
 // single-path routing matrix, and how much repair using the correct
 // fractional matrix provides (eq. 1's fractional generalization).
-func (s *Suite) Ext3ECMPMismatch() (*Report, error) {
+func (s *Suite) Ext3ECMPMismatch(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "ext3", Title: "ECMP mismatch: estimating with the wrong routing model"}
 	for _, reg := range s.regions() {
 		// Coarse IGP weights (operators assign small integers) create the
@@ -162,7 +172,7 @@ func (s *Suite) Ext3ECMPMismatch() (*Report, error) {
 // Ext4TrafficEngineering closes the loop the paper's introduction opens:
 // how wrong do traffic-engineering decisions get when they are based on
 // each method's estimated matrix instead of the truth.
-func (s *Suite) Ext4TrafficEngineering() (*Report, error) {
+func (s *Suite) Ext4TrafficEngineering(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "ext4", Title: "TE decisions from estimated matrices (hot set k=10)"}
 	for _, reg := range s.regions() {
 		prior := core.Gravity(reg.inst)

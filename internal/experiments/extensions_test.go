@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // it is consistent with the measured loads, while the gravity prior is not.
 func TestExt4TrafficEngineering(t *testing.T) {
 	s := getSuite(t)
-	rep, err := s.Ext4TrafficEngineering()
+	rep, err := s.Ext4TrafficEngineering(context.Background())
 	if err != nil {
 		t.Fatalf("Ext4: %v", err)
 	}
@@ -40,7 +41,7 @@ func TestExt1NoiseMonotonicTrend(t *testing.T) {
 		t.Skip("noise sweep is slow")
 	}
 	s := getSuite(t)
-	rep, err := s.Ext1NoiseSensitivity()
+	rep, err := s.Ext1NoiseSensitivity(context.Background())
 	if err != nil {
 		t.Fatalf("Ext1: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestExt3ECMPRepair(t *testing.T) {
 		t.Skip("ECMP sweep is slow")
 	}
 	s := getSuite(t)
-	rep, err := s.Ext3ECMPMismatch()
+	rep, err := s.Ext3ECMPMismatch(context.Background())
 	if err != nil {
 		t.Fatalf("Ext3: %v", err)
 	}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// renderAll runs the given drivers on a fresh suite with the given pool
+// size and returns the concatenated rendered reports, emitted in input
+// order as RunAll guarantees.
+func renderAll(t *testing.T, workers int, ids []string) string {
+	t.Helper()
+	s, err := NewSuiteWithPool(1, runner.NewPool(workers))
+	if err != nil {
+		t.Fatalf("NewSuiteWithPool: %v", err)
+	}
+	var drivers []Driver
+	for _, id := range ids {
+		d, ok := DriverByID(id)
+		if !ok {
+			t.Fatalf("driver %s missing", id)
+		}
+		drivers = append(drivers, d)
+	}
+	var buf bytes.Buffer
+	results, err := RunAll(context.Background(), s, drivers, func(res RunResult) error {
+		if res.Err != nil {
+			return res.Err
+		}
+		return res.Value.Render(&buf)
+	})
+	if err != nil {
+		t.Fatalf("RunAll(workers=%d): %v", workers, err)
+	}
+	if len(results) != len(drivers) {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), len(drivers))
+	}
+	for i, res := range results {
+		if res.ID != ids[i] {
+			t.Fatalf("result %d = %s, want %s (input order violated)", i, res.ID, ids[i])
+		}
+	}
+	return buf.String()
+}
+
+// TestParallelMatchesSerial is the determinism contract of the engine:
+// the rendered output of a parallel run must be byte-identical to the
+// serial run, both across whole drivers and across the parallelized
+// sweep loops inside them.
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6"}
+	if !testing.Short() {
+		// Cover the parallelized inner sweeps too: fanout windows
+		// (fig10), the regularization sweep (fig13) and Vardi (table1).
+		ids = append(ids, "fig7", "fig10", "fig13", "table1")
+	}
+	serial := renderAll(t, 1, ids)
+	parallel := renderAll(t, 8, ids)
+	if serial != parallel {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("no output produced")
+	}
+}
+
+// TestRunAllDriverErrorIsPerResult checks that a failing driver does not
+// abort the others and surfaces its error on its own result.
+func TestRunAllDriverErrorIsPerResult(t *testing.T) {
+	s := getSuite(t)
+	boom := errors.New("boom")
+	drivers := []Driver{
+		{ID: "ok1", Title: "ok", Run: func(s *Suite, ctx context.Context) (*Report, error) {
+			return &Report{ID: "ok1", Title: "ok", Lines: []string{"fine"}}, nil
+		}},
+		{ID: "bad", Title: "bad", Run: func(s *Suite, ctx context.Context) (*Report, error) {
+			return nil, boom
+		}},
+		{ID: "ok2", Title: "ok", Run: func(s *Suite, ctx context.Context) (*Report, error) {
+			return &Report{ID: "ok2", Title: "ok", Lines: []string{"fine"}}, nil
+		}},
+	}
+	results, err := RunAll(context.Background(), s, drivers, nil)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy drivers failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Fatalf("results[1].Err = %v, want boom", results[1].Err)
+	}
+}
+
+// TestRunAllCancellation checks that cancelling the context aborts the
+// run and reaches into a driver's inner sweep loop.
+func TestRunAllCancellation(t *testing.T) {
+	s := getSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	blocked := Driver{ID: "blocked", Title: "waits for cancel",
+		Run: func(s *Suite, ctx context.Context) (*Report, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := RunAll(ctx, s, []Driver{blocked}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll after cancel = %v, want context.Canceled", err)
+	}
+	// The suite's sweep helper must refuse to start new work, too.
+	calls := 0
+	if err := s.forEach(ctx, 10, func(int) error { calls++; return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forEach on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("forEach ran %d iterations on a cancelled context", calls)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,24 +16,41 @@ var RegSweep = []float64{1e-5, 1e-3, 1e-1, 1, 1e1, 1e3, 1e5}
 // Entropy estimators (gravity prior) as a function of the regularization
 // parameter, for both networks. Small values reduce to the prior; large
 // values trust the measurements and perform best on consistent data.
-func (s *Suite) Fig13RegularizationSweep() (*Report, error) {
+func (s *Suite) Fig13RegularizationSweep(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig13", Title: "Bayesian/Entropy MRE vs regularization parameter (gravity prior)"}
 	r.addf("%-18s %s", "reg:", fmtRegRow())
 	for _, reg := range s.regions() {
+		reg := reg
 		prior := core.Gravity(reg.inst)
-		bay := fmt.Sprintf("%-8s Bayesian", reg.name)
-		ent := fmt.Sprintf("%-8s Entropy ", reg.name)
-		for _, lam := range RegSweep {
-			eb, err := core.Bayesian(reg.inst, prior, lam)
-			if err != nil {
-				return nil, err
+		// Both estimators at every regularization value, fanned out over
+		// the pool; each (lam, method) cell has its own slot.
+		bayMRE := make([]float64, len(RegSweep))
+		entMRE := make([]float64, len(RegSweep))
+		err := s.forEach(ctx, 2*len(RegSweep), func(i int) error {
+			lam := RegSweep[i/2]
+			if i%2 == 0 {
+				eb, err := core.Bayesian(reg.inst, prior, lam)
+				if err != nil {
+					return err
+				}
+				bayMRE[i/2] = core.MRE(eb, reg.truth, reg.thresh)
+				return nil
 			}
 			ee, err := core.Entropy(reg.inst, prior, lam)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			bay += fmt.Sprintf(" %6.3f", core.MRE(eb, reg.truth, reg.thresh))
-			ent += fmt.Sprintf(" %6.3f", core.MRE(ee, reg.truth, reg.thresh))
+			entMRE[i/2] = core.MRE(ee, reg.truth, reg.thresh)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bay := fmt.Sprintf("%-8s Bayesian", reg.name)
+		ent := fmt.Sprintf("%-8s Entropy ", reg.name)
+		for i := range RegSweep {
+			bay += fmt.Sprintf(" %6.3f", bayMRE[i])
+			ent += fmt.Sprintf(" %6.3f", entMRE[i])
 		}
 		r.Lines = append(r.Lines, bay, ent)
 		r.addf("%-8s gravity prior MRE %.3f", reg.name, core.MRE(prior, reg.truth, reg.thresh))
@@ -52,7 +70,7 @@ func fmtRegRow() string {
 // Fig14RegularizedScatter reproduces Figure 14: Bayesian and Entropy
 // estimates against the true demands for the American network at
 // regularization 1000 — the setting that produced the paper's best result.
-func (s *Suite) Fig14RegularizedScatter() (*Report, error) {
+func (s *Suite) Fig14RegularizedScatter(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig14", Title: "Regularized estimates vs actual demands (America, reg=1000)"}
 	reg := s.regions()[1]
 	prior := core.Gravity(reg.inst)
@@ -74,10 +92,11 @@ func (s *Suite) Fig14RegularizedScatter() (*Report, error) {
 // prior versus the worst-case-bound midpoint prior across the
 // regularization sweep. The WCB prior wins at small regularization; the two
 // coincide at large regularization.
-func (s *Suite) Fig15PriorComparison() (*Report, error) {
+func (s *Suite) Fig15PriorComparison(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig15", Title: "Bayesian MRE: gravity prior vs WCB prior"}
 	r.addf("%-18s %s", "reg:", fmtRegRow())
 	for _, reg := range s.regions() {
+		reg := reg
 		b, err := core.WorstCaseBounds(reg.inst)
 		if err != nil {
 			return nil, err
@@ -89,14 +108,24 @@ func (s *Suite) Fig15PriorComparison() (*Report, error) {
 			{"Gravity", core.Gravity(reg.inst)},
 			{"WCB", b.Midpoint()},
 		}
-		for _, pr := range priors {
+		// Flatten the prior × regularization grid into one fan-out.
+		mres := make([]float64, len(priors)*len(RegSweep))
+		err = s.forEach(ctx, len(mres), func(i int) error {
+			pr, lam := priors[i/len(RegSweep)], RegSweep[i%len(RegSweep)]
+			est, err := core.Bayesian(reg.inst, pr.v, lam)
+			if err != nil {
+				return err
+			}
+			mres[i] = core.MRE(est, reg.truth, reg.thresh)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for pi, pr := range priors {
 			line := fmt.Sprintf("%-8s %-8s", reg.name, pr.name)
-			for _, lam := range RegSweep {
-				est, err := core.Bayesian(reg.inst, pr.v, lam)
-				if err != nil {
-					return nil, err
-				}
-				line += fmt.Sprintf(" %6.3f", core.MRE(est, reg.truth, reg.thresh))
+			for li := range RegSweep {
+				line += fmt.Sprintf(" %6.3f", mres[pi*len(RegSweep)+li])
 			}
 			r.Lines = append(r.Lines, line)
 		}
@@ -109,7 +138,7 @@ func (s *Suite) Fig15PriorComparison() (*Report, error) {
 // the MRE of the Entropy method as demands are measured directly one at a
 // time — greedily (exhaustive search, as in the paper) and by measuring the
 // largest demands first (the practical strategy).
-func (s *Suite) Fig16DirectMeasurement() (*Report, error) {
+func (s *Suite) Fig16DirectMeasurement(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "fig16", Title: "Entropy MRE vs number of directly measured demands"}
 	steps := map[string]int{"Europe": 12, "America": 17}
 	for _, reg := range s.regions() {
@@ -141,7 +170,7 @@ func fmtCurve(c []float64) string {
 
 // Table2Summary reproduces Table 2: the best MRE of every method on both
 // subnetworks.
-func (s *Suite) Table2Summary() (*Report, error) {
+func (s *Suite) Table2Summary(ctx context.Context) (*Report, error) {
 	r := &Report{ID: "table2", Title: "Best MRE of all methods (paper values in parentheses)"}
 	paper := map[string][2]string{
 		"Worst-case bound prior": {"0.10", "0.39"},
@@ -171,38 +200,57 @@ func (s *Suite) Table2Summary() (*Report, error) {
 		}
 		set("Worst-case bound prior", core.MRE(wcb, reg.truth, reg.thresh))
 		set("Simple gravity prior", core.MRE(prior, reg.truth, reg.thresh))
-		set("Entropy w. gravity", bestOverSweep(func(lam float64) (linalg.Vector, error) {
+		set("Entropy w. gravity", s.bestOverSweep(ctx, func(lam float64) (linalg.Vector, error) {
 			return core.Entropy(reg.inst, prior, lam)
 		}, reg))
-		set("Bayes w. gravity", bestOverSweep(func(lam float64) (linalg.Vector, error) {
+		set("Bayes w. gravity", s.bestOverSweep(ctx, func(lam float64) (linalg.Vector, error) {
 			return core.Bayesian(reg.inst, prior, lam)
 		}, reg))
-		set("Bayes w. WCB prior", bestOverSweep(func(lam float64) (linalg.Vector, error) {
+		set("Bayes w. WCB prior", s.bestOverSweep(ctx, func(lam float64) (linalg.Vector, error) {
 			return core.Bayesian(reg.inst, wcb, lam)
 		}, reg))
 		// Fanout: best over a few window lengths.
-		bestFan := math.Inf(1)
-		for _, k := range []int{3, 10, 20, 40} {
+		fanWindows := []int{3, 10, 20, 40}
+		fanMRE := make([]float64, len(fanWindows))
+		err = s.forEach(ctx, len(fanWindows), func(i int) error {
+			k := fanWindows[i]
 			loads := reg.sc.LoadSeries(reg.start, k)
 			est, err := core.EstimateFanouts(reg.sc.Rt, loads, core.DefaultFanoutConfig())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mean := reg.sc.Series.MeanDemand(reg.start, k)
-			if m := core.MRE(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9)); m < bestFan {
+			fanMRE[i] = core.MRE(est.MeanDemand, mean, core.ShareThreshold(mean, 0.9))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestFan := math.Inf(1)
+		for _, m := range fanMRE {
+			if m < bestFan {
 				bestFan = m
 			}
 		}
 		set("Fanout", bestFan)
 		// Vardi: best of the two σ⁻² settings of Table 1.
-		bestVardi := math.Inf(1)
-		for _, sig := range []float64{0.01, 1} {
+		sigmas := []float64{0.01, 1}
+		vardiMRE := make([]float64, len(sigmas))
+		err = s.forEach(ctx, len(sigmas), func(i int) error {
 			loads := reg.sc.LoadSeries(reg.start, BusyWindowSamples)
-			lam, err := core.Vardi(reg.sc.Rt, loads, core.VardiConfig{SigmaInv2: sig, MaxIter: 30000, Tol: 1e-9})
+			lam, err := core.Vardi(reg.sc.Rt, loads, core.VardiConfig{SigmaInv2: sigmas[i], MaxIter: 30000, Tol: 1e-9})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if m := core.MRE(lam, reg.truth, reg.thresh); m < bestVardi {
+			vardiMRE[i] = core.MRE(lam, reg.truth, reg.thresh)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestVardi := math.Inf(1)
+		for _, m := range vardiMRE {
+			if m < bestVardi {
 				bestVardi = m
 			}
 		}
@@ -217,15 +265,25 @@ func (s *Suite) Table2Summary() (*Report, error) {
 	return r, nil
 }
 
-// bestOverSweep returns the best MRE over the regularization sweep.
-func bestOverSweep(est func(float64) (linalg.Vector, error), reg region) float64 {
-	best := math.Inf(1)
-	for _, lam := range RegSweep {
-		s, err := est(lam)
+// bestOverSweep returns the best MRE over the regularization sweep,
+// evaluating the sweep points concurrently on the suite's pool. Failed
+// sweep points are skipped, as in the serial loop it replaces.
+func (s *Suite) bestOverSweep(ctx context.Context, est func(float64) (linalg.Vector, error), reg region) float64 {
+	mres := make([]float64, len(RegSweep))
+	for i := range mres {
+		mres[i] = math.Inf(1)
+	}
+	s.forEach(ctx, len(RegSweep), func(i int) error {
+		v, err := est(RegSweep[i])
 		if err != nil {
-			continue
+			return nil // skip failed sweep points
 		}
-		if m := core.MRE(s, reg.truth, reg.thresh); m < best {
+		mres[i] = core.MRE(v, reg.truth, reg.thresh)
+		return nil
+	})
+	best := math.Inf(1)
+	for _, m := range mres {
+		if m < best {
 			best = m
 		}
 	}

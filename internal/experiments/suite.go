@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/linalg"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 )
 
 // BusyWindowSamples is the paper's busy-period length: 250 minutes = 50
@@ -47,7 +49,9 @@ func (r *Report) addf(format string, args ...interface{}) {
 }
 
 // Suite holds the two evaluation scenarios and their busy-window snapshots,
-// shared across all experiment drivers.
+// shared across all experiment drivers. After NewSuite returns, the Suite
+// is read-only: drivers never mutate it, which is what makes it safe to
+// run many drivers concurrently against the same Suite.
 type Suite struct {
 	EU, US *netsim.Scenario
 
@@ -56,10 +60,23 @@ type Suite struct {
 	InstEU, InstUS     *core.Instance
 	ThreshEU, ThreshUS float64
 	StartEU, StartUS   int
+
+	// pool bounds the concurrency of the whole evaluation: RunAll
+	// schedules drivers on it and the sweep loops inside drivers borrow
+	// its free slots for their inner fan-out.
+	pool *runner.Pool
 }
 
-// NewSuite builds both scenarios with the given seed.
+// NewSuite builds both scenarios with the given seed, using a pool sized
+// to the machine (runtime.GOMAXPROCS).
 func NewSuite(seed int64) (*Suite, error) {
+	return NewSuiteWithPool(seed, runner.NewPool(0))
+}
+
+// NewSuiteWithPool builds both scenarios with the given seed and runs all
+// parallel work on the given pool. NewSuiteWithPool(seed, runner.NewPool(1))
+// reproduces the fully serial evaluation.
+func NewSuiteWithPool(seed int64, pool *runner.Pool) (*Suite, error) {
 	eu, err := netsim.BuildEurope(seed)
 	if err != nil {
 		return nil, err
@@ -68,7 +85,10 @@ func NewSuite(seed int64) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Suite{EU: eu, US: us}
+	if pool == nil {
+		pool = runner.NewPool(0)
+	}
+	s := &Suite{EU: eu, US: us, pool: pool}
 	if s.TruthEU, s.InstEU, s.ThreshEU, err = eu.Snapshot(BusyWindowSamples); err != nil {
 		return nil, err
 	}
@@ -78,6 +98,16 @@ func NewSuite(seed int64) (*Suite, error) {
 	s.StartEU = eu.BusyWindow(BusyWindowSamples)
 	s.StartUS = us.BusyWindow(BusyWindowSamples)
 	return s, nil
+}
+
+// Pool returns the concurrency pool the suite schedules work on.
+func (s *Suite) Pool() *runner.Pool { return s.pool }
+
+// forEach fans an inner sweep loop out over the suite's pool. The body
+// must write its result into an index-addressed slot so that report
+// assembly stays deterministic regardless of execution order.
+func (s *Suite) forEach(ctx context.Context, n int, fn func(i int) error) error {
+	return s.pool.ForEach(ctx, n, fn)
 }
 
 // regions iterates over both subnetworks uniformly.
@@ -97,11 +127,44 @@ func (s *Suite) regions() []region {
 	}
 }
 
-// Driver is a runnable experiment.
+// Driver is a runnable experiment. Run is a Suite method expression, so
+// the receiver comes first and the context second. Cancellation is
+// cooperative: RunAll stops scheduling drivers once the context is
+// done, and the expensive drivers additionally check it between sweep
+// iterations (via Suite.forEach) — but an individual solver call that
+// is already running always finishes. Cheap drivers may ignore the
+// context entirely.
 type Driver struct {
 	ID    string
 	Title string
-	Run   func(*Suite) (*Report, error)
+	Run   func(*Suite, context.Context) (*Report, error)
+}
+
+// RunOn executes the driver against a suite.
+func (d Driver) RunOn(ctx context.Context, s *Suite) (*Report, error) {
+	return d.Run(s, ctx)
+}
+
+// RunResult is the outcome of one driver in a RunAll fan-out.
+type RunResult = runner.Result[*Report]
+
+// RunAll executes the drivers concurrently on the suite's pool and
+// returns their results in input order. Drivers execute in any order,
+// but emit (if non-nil) is called strictly in input order as soon as
+// every earlier driver has finished, so rendered output is byte-for-byte
+// identical between a 1-worker and an N-worker pool. Driver failures are
+// reported per-result; only context cancellation (or an emit error)
+// aborts the whole run.
+func RunAll(ctx context.Context, s *Suite, drivers []Driver, emit func(RunResult) error) ([]RunResult, error) {
+	jobs := make([]runner.Job[*Report], len(drivers))
+	for i, d := range drivers {
+		d := d
+		jobs[i] = runner.Job[*Report]{
+			ID:  d.ID,
+			Run: func(ctx context.Context) (*Report, error) { return d.Run(s, ctx) },
+		}
+	}
+	return runner.Run(ctx, s.pool, jobs, emit)
 }
 
 // Drivers returns every experiment in paper order.

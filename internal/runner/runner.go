@@ -1,0 +1,195 @@
+// Package runner provides the concurrent execution engine for the
+// experiment suite: a bounded worker pool sized to the machine, a
+// deterministic fan-out/fan-in for whole experiment drivers, and a
+// nestable parallel-for for the sweep loops inside them.
+//
+// Two properties matter more than raw speed:
+//
+//   - Determinism. Jobs execute in any order, but results are always
+//     delivered in input order, so the rendered output of a parallel run
+//     is byte-identical to a serial one.
+//   - Composability. A driver running on the pool may itself call
+//     Pool.ForEach for its inner sweep without deadlocking: the calling
+//     goroutine always participates in the work, so progress never
+//     depends on acquiring an extra slot.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded concurrency budget shared by the experiment engine
+// and the sweep loops inside drivers. The zero value is not usable; use
+// NewPool.
+type Pool struct {
+	// sem holds one token per extra worker goroutine the pool may run
+	// beyond the goroutines that call into it.
+	sem chan struct{}
+	// workers is the configured parallelism (>= 1).
+	workers int
+}
+
+// NewPool returns a pool that runs at most workers tasks at once.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers-1), workers: workers}
+}
+
+// Workers returns the configured parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), using the calling goroutine
+// plus as many pool slots as are free, and returns the first error in
+// index order. It stops issuing new indices once the context is
+// cancelled or any fn has failed, and always waits for in-flight calls
+// to finish before returning. fn must be safe for concurrent use.
+//
+// Because the caller works too, ForEach makes progress even when the
+// pool is saturated — which is what makes it safe to nest inside jobs
+// already running on the same pool.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var (
+		next int64 // next index to claim
+		stop atomic.Bool
+		mu   sync.Mutex
+		errs = make(map[int]error)
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		errs[i] = err
+		mu.Unlock()
+		stop.Store(true)
+	}
+	work := func() {
+		for !stop.Load() && ctx.Err() == nil {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				record(i, err)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	// Helpers join only if a slot is free right now; otherwise the
+	// caller alone drains the loop.
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				work()
+			}()
+		default:
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// First failure in index order, so parallel runs report the same
+	// error a serial loop would.
+	mu.Lock()
+	defer mu.Unlock()
+	first := -1
+	for i := range errs {
+		if first < 0 || i < first {
+			first = i
+		}
+	}
+	if first >= 0 {
+		return errs[first]
+	}
+	return nil
+}
+
+// Job is one unit of work for Run: typically an experiment driver.
+type Job[T any] struct {
+	// ID names the job in results (e.g. "fig13").
+	ID string
+	// Run does the work. It must honor ctx cancellation for Run's
+	// timeout and cancellation guarantees to extend mid-job.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one job, delivered in input order.
+type Result[T any] struct {
+	ID       string
+	Value    T
+	Err      error
+	Duration time.Duration
+}
+
+// Run executes the jobs on the pool and returns their results in input
+// order. If emit is non-nil it is called once per job, also in input
+// order, as soon as every earlier job has finished — so a consumer
+// printing reports sees them stream out in deterministic order while
+// later jobs are still running. A non-nil error from emit aborts the
+// run.
+//
+// Job errors do not stop the run (each Result carries its own Err);
+// context cancellation does, and Run then returns ctx.Err() alongside
+// the results completed so far.
+func Run[T any](ctx context.Context, p *Pool, jobs []Job[T], emit func(Result[T]) error) ([]Result[T], error) {
+	results := make([]Result[T], len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.ForEach(runCtx, len(jobs), func(i int) error {
+			t0 := time.Now()
+			v, err := jobs[i].Run(runCtx)
+			results[i] = Result[T]{ID: jobs[i].ID, Value: v, Err: err, Duration: time.Since(t0)}
+			close(done[i])
+			return nil // job errors are per-result, not run-fatal
+		})
+	}()
+
+	var emitErr error
+	delivered := 0
+deliver:
+	for ; delivered < len(jobs); delivered++ {
+		select {
+		case <-done[delivered]:
+			if emit != nil && emitErr == nil {
+				if err := emit(results[delivered]); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+		case <-runCtx.Done():
+			// Cancelled (by the caller or an emit failure): jobs that
+			// never started will never close done, so stop waiting.
+			break deliver
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results[:delivered], err
+	}
+	if emitErr != nil {
+		return results[:delivered], emitErr
+	}
+	return results, nil
+}

@@ -1,0 +1,258 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("NewPool(0).Workers() = %d", w)
+	}
+	if w := NewPool(-3).Workers(); w < 1 {
+		t.Fatalf("NewPool(-3).Workers() = %d", w)
+	}
+	if w := NewPool(5).Workers(); w != 5 {
+		t.Fatalf("NewPool(5).Workers() = %d, want 5", w)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		const n = 100
+		var visits [n]int32
+		if err := p.ForEach(context.Background(), n, func(i int) error {
+			atomic.AddInt32(&visits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	p := NewPool(4)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Indices 3 and 7 both fail; the reported error must be index 3's
+	// regardless of which goroutine got there first.
+	err := p.ForEach(context.Background(), 10, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("ForEach = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+func TestForEachStopsIssuingAfterError(t *testing.T) {
+	p := NewPool(1) // serial: deterministic claim order
+	var ran int32
+	err := p.ForEach(context.Background(), 100, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 4 {
+			return errors.New("stop here")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt32(&ran); got != 5 {
+		t.Fatalf("ran %d iterations after failure at index 4, want 5", got)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := p.ForEach(ctx, 1000, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got >= 1000 {
+		t.Fatalf("cancellation did not stop the loop (ran %d)", got)
+	}
+}
+
+// TestForEachNested is the composability contract: a task running on the
+// pool may fan out on the same pool without deadlocking, even when the
+// pool is fully saturated by outer tasks.
+func TestForEachNested(t *testing.T) {
+	p := NewPool(2)
+	var total int32
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach(context.Background(), 4, func(i int) error {
+			return p.ForEach(context.Background(), 8, func(j int) error {
+				atomic.AddInt32(&total, 1)
+				return nil
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested ForEach deadlocked")
+	}
+	if total != 4*8 {
+		t.Fatalf("nested loops ran %d bodies, want %d", total, 4*8)
+	}
+}
+
+func job(id string, d time.Duration, err error) Job[string] {
+	return Job[string]{ID: id, Run: func(ctx context.Context) (string, error) {
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		return "value-" + id, err
+	}}
+}
+
+// TestRunEmitsInInputOrder makes jobs finish in reverse order and checks
+// both the emit sequence and the returned slice stay in input order.
+func TestRunEmitsInInputOrder(t *testing.T) {
+	p := NewPool(4)
+	jobs := []Job[string]{
+		job("a", 80*time.Millisecond, nil),
+		job("b", 40*time.Millisecond, nil),
+		job("c", 0, nil),
+	}
+	var emitted []string
+	results, err := Run(context.Background(), p, jobs, func(r Result[string]) error {
+		emitted = append(emitted, r.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(emitted) != fmt.Sprint(want) {
+		t.Fatalf("emit order %v, want %v", emitted, want)
+	}
+	for i, r := range results {
+		if r.ID != want[i] || r.Value != "value-"+want[i] || r.Err != nil {
+			t.Fatalf("results[%d] = %+v", i, r)
+		}
+	}
+}
+
+// TestRunSerialParallelSameResults runs the same job set at parallelism
+// 1 and 8 and requires identical delivered values in identical order.
+func TestRunSerialParallelSameResults(t *testing.T) {
+	jobs := make([]Job[string], 20)
+	for i := range jobs {
+		// Stagger durations so parallel completion order differs from
+		// input order.
+		jobs[i] = job(fmt.Sprintf("j%02d", i), time.Duration(20-i)*time.Millisecond, nil)
+	}
+	var outputs []string
+	for _, workers := range []int{1, 8} {
+		var seq []string
+		results, err := Run(context.Background(), NewPool(workers), jobs, func(r Result[string]) error {
+			seq = append(seq, r.ID+"="+r.Value)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		outputs = append(outputs, fmt.Sprint(seq))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("serial and parallel deliveries differ:\n%s\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunJobErrorDoesNotAbort(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	jobs := []Job[string]{job("a", 0, nil), job("b", 0, boom), job("c", 0, nil)}
+	results, err := Run(context.Background(), p, jobs, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatal("healthy jobs reported errors")
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Fatalf("results[1].Err = %v", results[1].Err)
+	}
+}
+
+func TestRunCancelMidSuite(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []Job[string]{
+		{ID: "first", Run: func(ctx context.Context) (string, error) {
+			cancel() // cancel while the suite is mid-flight
+			return "done", nil
+		}},
+		job("second", time.Hour, nil), // must never need to finish
+	}
+	done := make(chan struct{})
+	var results []Result[string]
+	var err error
+	go func() {
+		results, err = Run(ctx, p, jobs, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if len(results) > 1 {
+		t.Fatalf("got %d results after early cancel", len(results))
+	}
+}
+
+func TestRunEmitErrorAborts(t *testing.T) {
+	p := NewPool(1)
+	stop := errors.New("stop")
+	jobs := []Job[string]{job("a", 0, nil), job("b", 0, nil), job("c", 0, nil)}
+	var emitted int
+	_, err := Run(context.Background(), p, jobs, func(Result[string]) error {
+		emitted++
+		return stop
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("Run = %v, want emit error", err)
+	}
+	if emitted != 1 {
+		t.Fatalf("emit called %d times after aborting, want 1", emitted)
+	}
+}
