@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt vet check
+.PHONY: build test test-short bench bench-baseline docs fmt vet check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,26 @@ test-short:
 # comparison. Narrow with e.g. BENCH='FullSuite'.
 BENCH ?= .
 bench:
-	$(GO) test -bench '$(BENCH)' -benchtime 1x -run '^$$' .
+	$(GO) test -timeout 60m -bench '$(BENCH)' -benchtime 1x -run '^$$' .
+
+# Regenerate the checked-in benchmark baseline. Absolute numbers are
+# machine-dependent; the baseline exists so successive PRs on the same
+# hardware have a perf trajectory to diff against.
+bench-baseline:
+	$(GO) test -timeout 60m -bench . -benchtime 1x -benchmem -run '^$$' . > bench.out
+	awk 'BEGIN { print "{"; first=1 } \
+	     /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+	       if (!first) printf(",\n"); first=0; \
+	       printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$3, $$5, $$7) } \
+	     END { print "\n}" }' bench.out > BENCH_seed.json
+	@rm -f bench.out
+	@echo "wrote BENCH_seed.json"
+
+# Docs gate: every package carries a package comment, the README flag
+# table matches the real flag sets, and METHODS.md covers every
+# estimation method and experiment ID.
+docs:
+	$(GO) test -run 'TestPackageComments|TestREADMEFlagDrift|TestMETHODSCoverage' .
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,4 +46,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: vet fmt build test-short
+check: vet fmt build docs test-short

@@ -1,0 +1,266 @@
+// Command tmserve is the continuous traffic-matrix estimation daemon: it
+// drives a measurement source — a live simulated collector deployment
+// (UDP agents, distributed pollers, TCP uploads; -mode live) or a
+// deterministic replay of the scenario's demand series (-mode replay) —
+// through the internal/stream engine and serves the evolving estimate
+// over HTTP/JSON. After every consumed polling interval the engine
+// refreshes the incremental gravity estimate; every -resolve-every
+// intervals it schedules a full re-solve (-method entropy|bayes|vardi|
+// fanout) on a dedicated latest-wins worker, so a slow solve never
+// delays ingestion.
+//
+// Endpoints:
+//
+//	GET /healthz   liveness plus the latest snapshot version
+//	GET /snapshot  latest versioned snapshot (matrices + error metrics);
+//	               ?min_version=N long-polls until version N exists
+//	GET /metrics   estimation-error history (one point per publication)
+//
+// The daemon keeps serving after the collection finishes and shuts down
+// gracefully on SIGINT/SIGTERM via the usual context plumbing.
+//
+// Usage:
+//
+//	tmserve -region europe -cycles 24 -window 6 -resolve-every 3
+//	tmserve -scenario europe.json -mode replay -pace 200ms
+//	tmserve -mode live -pollers 3 -drop 0.02 -speed 0.1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+type config struct {
+	addr     string
+	region   string
+	scenario string
+	seed     int64
+	mode     string
+	cycles   int
+
+	window       int
+	minCoverage  float64
+	resolveEvery int
+	method       string
+	reg          float64
+	sigmaInv2    float64
+
+	pace    time.Duration // replay
+	pollers int           // live
+	drop    float64       // live
+	speed   float64       // live
+
+	// ready, when non-nil, receives the bound listen address once the
+	// HTTP server is up (used by the end-to-end test with -addr :0).
+	ready chan<- net.Addr
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7080", "HTTP listen address")
+	flag.StringVar(&cfg.region, "region", "europe", "scenario to simulate: europe or america")
+	flag.StringVar(&cfg.scenario, "scenario", "", "scenario JSON produced by tmgen (overrides -region)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "scenario seed (ignored with -scenario)")
+	flag.StringVar(&cfg.mode, "mode", "replay", "measurement source: replay (deterministic) or live (UDP/TCP pipeline)")
+	flag.IntVar(&cfg.cycles, "cycles", 24, "polling intervals to collect; 0 = run until interrupted")
+	flag.IntVar(&cfg.window, "window", 6, "sliding estimation window in intervals; 0 = expanding")
+	flag.Float64Var(&cfg.minCoverage, "min-coverage", 0.9, "LSP coverage fraction required before a closed interval is used")
+	flag.IntVar(&cfg.resolveEvery, "resolve-every", 3, "full re-solve every N intervals; 0 = incremental gravity only")
+	flag.StringVar(&cfg.method, "method", "entropy", "full re-solve estimator: entropy | bayes | vardi | fanout")
+	flag.Float64Var(&cfg.reg, "reg", 1000, "regularization parameter for entropy/bayes re-solves")
+	flag.Float64Var(&cfg.sigmaInv2, "sigma", 0.01, "sigma^-2 for vardi re-solves")
+	flag.DurationVar(&cfg.pace, "pace", 100*time.Millisecond, "replay: wall-clock time per polling interval")
+	flag.IntVar(&cfg.pollers, "pollers", 3, "live: distributed pollers")
+	flag.Float64Var(&cfg.drop, "drop", 0.02, "live: per-datagram UDP loss probability")
+	flag.Float64Var(&cfg.speed, "speed", 0.1, "live: simulated minutes per wall millisecond")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "tmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run wires scenario, measurement source, engine and HTTP server, and
+// blocks until ctx is cancelled (clean shutdown, returns nil) or a
+// component fails. Separated from main so the end-to-end test can drive
+// the real daemon in-process.
+func run(ctx context.Context, cfg config, out io.Writer) error {
+	sc, err := loadScenario(cfg)
+	if err != nil {
+		return err
+	}
+	engine, err := stream.New(sc.Rt, stream.Config{
+		Window:       cfg.window,
+		MinCoverage:  cfg.minCoverage,
+		ResolveEvery: cfg.resolveEvery,
+		Method:       stream.Method(cfg.method),
+		Reg:          cfg.reg,
+		SigmaInv2:    cfg.sigmaInv2,
+		// The daemon's engine is the store's only consumer, so consumed
+		// intervals can be discarded — this is what keeps -cycles 0
+		// (run forever) at bounded memory.
+		PruneConsumed: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	cycles := cfg.cycles
+	if cycles <= 0 {
+		cycles = int(^uint(0) >> 1) // run until interrupted
+	}
+	var store *collector.Store
+	var collect func(context.Context) error
+	switch cfg.mode {
+	case "replay":
+		store = collector.NewStore(sc.Net.NumPairs())
+		collect = func(ctx context.Context) error {
+			return collector.Replay(ctx, store, sc.Series, cycles, cfg.pace)
+		}
+	case "live":
+		d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
+			Pollers:         cfg.pollers,
+			DropProb:        cfg.drop,
+			MinutesPerMilli: cfg.speed,
+			StepMinutes:     sc.Series.Cfg.StepMinutes,
+			Seed:            cfg.seed,
+		})
+		store = d.Store
+		collect = func(ctx context.Context) error { return d.RunContext(ctx, cycles) }
+	default:
+		return fmt.Errorf("unknown -mode %q (replay or live)", cfg.mode)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "tmserve: %s scenario %s (%d PoPs, %d LSPs), %s mode, window %d, %s re-solve every %d\n",
+		sc.Region, ln.Addr(), sc.Net.NumPoPs(), sc.Net.NumPairs(), cfg.mode, cfg.window, cfg.method, cfg.resolveEvery)
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	fail := make(chan error, 2)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := engine.Run(runCtx, store); err != nil && !errors.Is(err, context.Canceled) {
+			fail <- fmt.Errorf("engine: %w", err)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := collect(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+			fail <- fmt.Errorf("collect: %w", err)
+			return
+		}
+		fmt.Fprintf(out, "tmserve: collection finished; serving last snapshot until interrupted\n")
+	}()
+
+	srv := &http.Server{Handler: newHandler(runCtx, engine)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case err := <-fail:
+		runErr = err
+	case err := <-serveErr:
+		runErr = err
+	}
+	cancel()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	wg.Wait()
+	return runErr
+}
+
+func loadScenario(cfg config) (*netsim.Scenario, error) {
+	if cfg.scenario != "" {
+		return netsim.LoadFile(cfg.scenario)
+	}
+	switch cfg.region {
+	case "europe":
+		return netsim.BuildEurope(cfg.seed)
+	case "america":
+		return netsim.BuildAmerica(cfg.seed)
+	}
+	return nil, fmt.Errorf("unknown -region %q (europe or america)", cfg.region)
+}
+
+// newHandler builds the HTTP API over an engine. Long-polls abort when
+// runCtx is cancelled, so active handlers never hold srv.Shutdown to
+// its timeout during the daemon's graceful shutdown.
+func newHandler(runCtx context.Context, e *stream.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := e.Latest()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "have_snapshot": ok, "version": snap.Version})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if mv := r.URL.Query().Get("min_version"); mv != "" {
+			min, err := strconv.ParseUint(mv, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad min_version"})
+				return
+			}
+			// Long poll, bounded so an abandoned stream cannot pin the
+			// handler forever, and released early on daemon shutdown.
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+			defer cancel()
+			defer context.AfterFunc(runCtx, cancel)()
+			snap, err := e.WaitVersion(ctx, min)
+			if err != nil {
+				writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		snap, ok := e.Latest()
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot yet"})
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -21,13 +21,25 @@
 // byte-identical to a serial one (tmbench's -quiet flag drops the
 // timing lines, which are the only nondeterministic output).
 //
-// Start with examples/quickstart, or run the full evaluation with
+// Beyond the batch experiments, internal/stream runs the estimators
+// continuously over the collector's poll windows — incremental gravity
+// every interval, periodic full re-solves on a dedicated latest-wins
+// worker, versioned snapshots — and cmd/tmserve serves the evolving
+// matrix over HTTP/JSON from a live simulated deployment or a
+// deterministic scenario replay.
+//
+// METHODS.md maps every estimation method of the paper to its entry
+// point and the experiments that evaluate it.
+//
+// Start with examples/quickstart (batch) or examples/streaming (online),
+// or run the full evaluation with
 //
 //	go run ./cmd/tmbench              # all cores
 //	go run ./cmd/tmbench -parallel 1  # fully serial, same output
 //	go run ./cmd/tmbench -run fig13   # selected experiments
 //
-// The benchmarks in bench_test.go regenerate every table and figure:
+// The benchmarks in bench_test.go regenerate every table and figure
+// (BENCH_seed.json pins the checked-in baseline):
 //
 //	go test -bench=. -benchmem
 package repro

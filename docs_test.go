@@ -1,0 +1,147 @@
+// Documentation gates: these tests fail when the docs drift from the
+// code, and CI's docs step runs them explicitly (make docs).
+package repro_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestPackageComments fails when any internal/* package (or the root
+// package and cmd/examples binaries) lacks a package-level doc comment.
+func TestPackageComments(t *testing.T) {
+	var dirs []string
+	for _, glob := range []string{"internal/*", "cmd/*", "examples/*", "."} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, m...)
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sources []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				sources = append(sources, f)
+			}
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		documented := false
+		for _, f := range sources {
+			fset := token.NewFileSet()
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", f, err)
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package in %s has no package-level doc comment in any file", dir)
+		}
+	}
+}
+
+// flagDefRe matches flag definitions in command sources:
+// flag.String("name", …), fs.Int64("name", …), flag.StringVar(&v, "name", …).
+var flagDefRe = regexp.MustCompile(`\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)(?:Var)?\(\s*(?:&[\w.\[\]]+\s*,\s*)?"([a-zA-Z][\w-]*)"`)
+
+// TestREADMEFlagDrift fails when a command defines a flag that the
+// README's "Commands and flags" table does not mention (the drift this
+// PR's audit fixed, e.g. tmbench -quiet).
+func TestREADMEFlagDrift(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := filepath.Glob("cmd/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) < 5 {
+		t.Fatalf("found only %d commands under cmd/", len(cmds))
+	}
+	for _, dir := range cmds {
+		name := filepath.Base(dir)
+		row := ""
+		for _, line := range strings.Split(string(readme), "\n") {
+			if strings.HasPrefix(line, fmt.Sprintf("| `%s`", name)) {
+				row = line
+				break
+			}
+		}
+		if row == "" {
+			t.Errorf("README has no flags-table row for command %s", name)
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range flagDefRe.FindAllStringSubmatch(string(src), -1) {
+				flag := m[1]
+				// Boundary-anchored: "-reg" must not be satisfied by
+				// "-region" appearing in the same row.
+				re := regexp.MustCompile("-" + regexp.QuoteMeta(flag) + `($|[^a-zA-Z0-9-])`)
+				if !re.MatchString(row) {
+					t.Errorf("README row for %s does not document flag -%s", name, flag)
+				}
+			}
+		}
+	}
+}
+
+// TestMETHODSCoverage fails when METHODS.md stops covering an estimation
+// entry point or an experiment driver ID — the "paper-to-code map covers
+// all estimation methods evaluated by the suite" acceptance criterion.
+func TestMETHODSCoverage(t *testing.T) {
+	methods, err := os.ReadFile("METHODS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(methods)
+	entryPoints := []string{
+		"core.Gravity", "core.GeneralizedGravity", "core.GravityFromTotals",
+		"core.Kruithof", "core.Vardi", "core.Entropy", "core.Bayesian",
+		"core.EstimateFanouts", "core.WorstCaseBounds",
+		"core.DirectMeasurementCurve", "core.IterativeBayesian", "core.Cao",
+		"core.MRE", "core.ShareThreshold",
+	}
+	for _, ep := range entryPoints {
+		if !strings.Contains(doc, ep) {
+			t.Errorf("METHODS.md does not mention entry point %s", ep)
+		}
+	}
+	for _, d := range experiments.AllDrivers() {
+		if !strings.Contains(doc, "`"+d.ID+"`") {
+			t.Errorf("METHODS.md does not mention experiment ID %s (%s)", d.ID, d.Title)
+		}
+	}
+}

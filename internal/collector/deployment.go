@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -117,6 +118,14 @@ func NewDeployment(netw *topology.Network, series *traffic.Series, cfg Deploymen
 // concurrently, uploads to the store over TCP, and shuts down. It returns
 // the store for inspection.
 func (d *Deployment) Run(cycles int) error {
+	return d.RunContext(context.Background(), cycles)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done every
+// poller stops between rounds, in-flight uploads drain, and the agents and
+// store shut down cleanly. A cancelled run returns ctx.Err(); intervals
+// already uploaded remain available in d.Store.
+func (d *Deployment) RunContext(ctx context.Context, cycles int) error {
 	addr, err := d.Store.Start()
 	if err != nil {
 		return err
@@ -149,7 +158,7 @@ func (d *Deployment) Run(cycles int) error {
 		go func(p *Poller, up *Uplink) {
 			defer wg.Done()
 			defer up.Close()
-			errs <- p.Collect(cycles, func(rec RateRecord) {
+			errs <- p.CollectContext(ctx, cycles, func(rec RateRecord) {
 				// Transport failures surface as missing records; the
 				// backup-poller path re-covers them on the next cycle.
 				_ = up.Send(rec)
@@ -161,6 +170,39 @@ func (d *Deployment) Run(cycles int) error {
 	for e := range errs {
 		if e != nil {
 			return e
+		}
+	}
+	return nil
+}
+
+// Replay feeds a store directly from a demand series, bypassing the
+// socket pipeline: every interval's true rates are ingested as if a
+// lossless poller had measured them, paced at pace wall-clock time per
+// interval (0 = as fast as possible). It is the deterministic stand-in
+// for a live Deployment — same store contents every run, no UDP loss, no
+// clock jitter — and what tmserve's replay mode and the streaming-engine
+// tests are built on. Replay stops early (returning ctx.Err()) if ctx is
+// done; cycles beyond the series length wrap around modulo its intervals,
+// so an arbitrarily long streaming session can be replayed from one
+// recorded day.
+func Replay(ctx context.Context, store *Store, series *traffic.Series, cycles int, pace time.Duration) error {
+	if len(series.Demands) == 0 {
+		return fmt.Errorf("collector: replay of empty series")
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := series.Demands[cycle%len(series.Demands)]
+		for p, mbps := range d {
+			store.Ingest(RateRecord{LSP: p, Interval: cycle, RateMbps: mbps, Poller: "replay"})
+		}
+		if pace > 0 && cycle < cycles-1 {
+			select {
+			case <-time.After(pace):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -132,10 +133,25 @@ func (p *Poller) pollAgent(addr *net.UDPAddr) (map[int]counterSample, error) {
 // streams rate records to sink. The first round only primes the counters
 // (a rate needs two reads). sink is called from the polling goroutine.
 func (p *Poller) Collect(cycles int, sink func(RateRecord)) error {
+	return p.CollectContext(context.Background(), cycles, sink)
+}
+
+// CollectContext is Collect with cooperative cancellation: it stops
+// between polling rounds (and between waits for the next nominal
+// timestamp) once ctx is done, returning ctx.Err(). A round that has
+// already started polling finishes first, so the store never sees a
+// half-reported cycle from this poller.
+func (p *Poller) CollectContext(ctx context.Context, cycles int, sink func(RateRecord)) error {
 	for cycle := 0; cycle < cycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		target := float64(cycle) * p.cfg.StepMinutes
 		// Wait for the nominal timestamp (fixed timestamps as in §5.1.2).
 		for p.clock.Now() < target {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p.clock.SleepSim(p.cfg.StepMinutes / 50)
 		}
 		// Poll all assigned agents concurrently so the whole round completes

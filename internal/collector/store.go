@@ -19,9 +19,22 @@ type Store struct {
 	intervals map[int]linalg.Vector // interval -> per-LSP rates
 	seen      map[int]map[int]bool  // interval -> LSP set
 	records   int
+	latest    int // max interval ever ingested (-1 before the first)
+	pruned    int // intervals below this have been discarded for good
+	stopped   bool
+	subs      map[int]chan IntervalUpdate
+	nextSub   int
 
 	ln net.Listener
 	wg sync.WaitGroup
+}
+
+// IntervalUpdate notifies a subscriber that the store's view of an interval
+// changed: Covered is how many distinct LSPs now have a rate for it.
+type IntervalUpdate struct {
+	Interval int
+	Covered  int
+	NumLSPs  int
 }
 
 // NewStore creates a store for the given LSP count.
@@ -30,6 +43,91 @@ func NewStore(numLSPs int) *Store {
 		numLSPs:   numLSPs,
 		intervals: make(map[int]linalg.Vector),
 		seen:      make(map[int]map[int]bool),
+		latest:    -1,
+		subs:      make(map[int]chan IntervalUpdate),
+	}
+}
+
+// LatestInterval returns the highest interval index ever ingested, or -1
+// if the store is empty. O(1); streaming consumers use it to detect that
+// earlier intervals have been closed out.
+func (s *Store) LatestInterval() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest
+}
+
+// Prune discards every interval below the given index and refuses late
+// records for them from then on. A streaming consumer that has folded an
+// interval into its own window calls this so an endless collection run
+// holds O(window) rather than O(elapsed time) in the store. Batch users
+// (tmcollect, the examples) never call it and keep the full history.
+func (s *Store) Prune(before int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if before > s.pruned {
+		s.pruned = before
+	}
+	for iv := range s.intervals {
+		if iv < s.pruned {
+			delete(s.intervals, iv)
+			delete(s.seen, iv)
+		}
+	}
+}
+
+// NumLSPs returns the LSP count the store was sized for.
+func (s *Store) NumLSPs() int { return s.numLSPs }
+
+// Subscribe registers for interval-coverage notifications and returns the
+// update channel plus a cancel function. One coalesced update is delivered
+// per ingested record; a subscriber that falls behind misses intermediate
+// updates but always receives the latest state (the channel holds one
+// pending update which newer ones overwrite), so a consumer polling
+// Matrix() on each update never observes stale coverage forever.
+func (s *Store) Subscribe() (<-chan IntervalUpdate, func()) {
+	ch := make(chan IntervalUpdate, 1)
+	s.mu.Lock()
+	if s.stopped {
+		// Subscribing after Stop yields an already-closed channel, so a
+		// consumer that raced the shutdown still observes end-of-stream
+		// (after draining whatever the store ingested) instead of
+		// blocking forever.
+		s.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyLocked pushes an update to every subscriber, overwriting any
+// pending one. Callers hold s.mu.
+func (s *Store) notifyLocked(u IntervalUpdate) {
+	for _, ch := range s.subs {
+		select {
+		case ch <- u:
+		default:
+			select {
+			case <-ch: // drop the stale pending update
+			default:
+			}
+			select {
+			case ch <- u:
+			default:
+			}
+		}
 	}
 }
 
@@ -45,12 +143,21 @@ func (s *Store) Start() (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Stop closes the listener and waits for in-flight connections to finish.
+// Stop closes the listener, waits for in-flight connections to finish,
+// and then closes every subscription channel — so a streaming consumer
+// blocked on Subscribe's channel observes the end of the collection.
 func (s *Store) Stop() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	s.stopped = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Store) accept() {
@@ -78,12 +185,20 @@ func (s *Store) accept() {
 }
 
 // Ingest adds one rate record (thread-safe; also usable without TCP).
+// Records for intervals already discarded by Prune are dropped, so a
+// straggling backup-poller upload cannot resurrect a pruned interval.
 func (s *Store) Ingest(rec RateRecord) {
 	if rec.LSP < 0 || rec.LSP >= s.numLSPs {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if rec.Interval < s.pruned {
+		return
+	}
+	if rec.Interval > s.latest {
+		s.latest = rec.Interval
+	}
 	v, ok := s.intervals[rec.Interval]
 	if !ok {
 		v = linalg.NewVector(s.numLSPs)
@@ -95,6 +210,11 @@ func (s *Store) Ingest(rec RateRecord) {
 	v[rec.LSP] = rec.RateMbps
 	s.seen[rec.Interval][rec.LSP] = true
 	s.records++
+	s.notifyLocked(IntervalUpdate{
+		Interval: rec.Interval,
+		Covered:  len(s.seen[rec.Interval]),
+		NumLSPs:  s.numLSPs,
+	})
 }
 
 // Records returns the total number of ingested records.
@@ -102,6 +222,16 @@ func (s *Store) Records() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.records
+}
+
+// Coverage returns how many LSPs an interval covers, without copying
+// its rates — the cheap readiness probe for streaming consumers. The
+// bool is false if the interval is unknown (or pruned).
+func (s *Store) Coverage(interval int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen, ok := s.seen[interval]
+	return len(seen), ok
 }
 
 // Matrix returns the demand vector of an interval and how many LSPs it

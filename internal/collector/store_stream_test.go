@@ -1,0 +1,64 @@
+package collector
+
+import "testing"
+
+// The streaming-consumer surface of the store: O(1) latest-interval
+// tracking, coalesced subscriptions, and pruning of consumed intervals.
+
+func TestLatestIntervalTracksIngest(t *testing.T) {
+	s := NewStore(4)
+	if got := s.LatestInterval(); got != -1 {
+		t.Fatalf("empty store LatestInterval = %d, want -1", got)
+	}
+	s.Ingest(RateRecord{LSP: 0, Interval: 3, RateMbps: 1})
+	s.Ingest(RateRecord{LSP: 1, Interval: 1, RateMbps: 1})
+	if got := s.LatestInterval(); got != 3 {
+		t.Fatalf("LatestInterval = %d, want 3", got)
+	}
+}
+
+func TestPruneDiscardsAndRefusesLateRecords(t *testing.T) {
+	s := NewStore(2)
+	for iv := 0; iv < 4; iv++ {
+		s.Ingest(RateRecord{LSP: 0, Interval: iv, RateMbps: float64(iv)})
+	}
+	s.Prune(2)
+	if _, _, ok := s.Matrix(1); ok {
+		t.Fatal("interval 1 still present after Prune(2)")
+	}
+	if _, _, ok := s.Matrix(2); !ok {
+		t.Fatal("interval 2 missing after Prune(2)")
+	}
+	// A straggling upload for a pruned interval must not resurrect it.
+	s.Ingest(RateRecord{LSP: 1, Interval: 0, RateMbps: 9})
+	if _, _, ok := s.Matrix(0); ok {
+		t.Fatal("late record resurrected pruned interval 0")
+	}
+	if got := s.LatestInterval(); got != 3 {
+		t.Fatalf("LatestInterval = %d after prune, want 3", got)
+	}
+	if got := len(s.Intervals()); got != 2 {
+		t.Fatalf("%d intervals after prune, want 2", got)
+	}
+}
+
+func TestSubscribeDeliversLatestState(t *testing.T) {
+	s := NewStore(3)
+	ch, cancel := s.Subscribe()
+	defer cancel()
+	// Burst more updates than the 1-slot buffer holds: the pending
+	// update must be the newest one.
+	for lsp := 0; lsp < 3; lsp++ {
+		s.Ingest(RateRecord{LSP: lsp, Interval: 0, RateMbps: 1})
+	}
+	u := <-ch
+	if u.Interval != 0 || u.Covered != 3 || u.NumLSPs != 3 {
+		t.Fatalf("update %+v, want interval 0 covered 3/3", u)
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	// Ingest after cancel must not panic or block.
+	s.Ingest(RateRecord{LSP: 0, Interval: 1, RateMbps: 1})
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+)
+
+// MRE is the paper's scoring metric (eq. 8): the mean of |ŝ−s|/s over
+// the true demands above the threshold. Here only the two demands above
+// 20 Mbps count, each off by 10%.
+func ExampleMRE() {
+	truth := linalg.Vector{100, 50, 10}
+	estimate := linalg.Vector{110, 45, 30}
+	fmt.Printf("%.3f\n", core.MRE(estimate, truth, 20))
+	// Output: 0.100
+}
+
+// ShareThreshold picks the demand size above which approximately the
+// given share of total traffic lives — the paper uses 90%, restricting
+// eq. 8 to the demands that matter for link utilization (§5.3.1).
+func ExampleShareThreshold() {
+	truth := linalg.Vector{800, 100, 50, 30, 20}
+	thresh := core.ShareThreshold(truth, 0.9)
+	fmt.Printf("threshold %.0f Mbps keeps %d demands\n", thresh, core.CountAbove(truth, thresh))
+	// Output: threshold 100 Mbps keeps 2 demands
+}
+
+// Gravity estimates the traffic matrix of eq. (5) from access-link loads
+// alone. On the European scenario it is a usable prior but a mediocre
+// estimator — exactly the paper's Fig. 7 observation.
+func ExampleGravity() {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		panic(err)
+	}
+	truth, inst, thresh, err := sc.Snapshot(50) // the paper's 250-minute busy window
+	if err != nil {
+		panic(err)
+	}
+	estimate := core.Gravity(inst)
+	fmt.Printf("gravity MRE over the large demands: %.2f\n", core.MRE(estimate, truth, thresh))
+	// Output: gravity MRE over the large demands: 0.43
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/linalg"
+	"repro/internal/topology"
 )
 
 // Gravity computes the simple gravity model estimate of eq. (5):
@@ -30,7 +31,18 @@ func GeneralizedGravity(in *Instance, peers map[int]bool) linalg.Vector {
 }
 
 func gravityFrom(in *Instance, te, tx linalg.Vector, peers map[int]bool) linalg.Vector {
-	net := in.Rt.Net
+	return GravityFromTotals(in.Rt.Net, te, tx, peers)
+}
+
+// GravityFromTotals computes the (generalized) gravity estimate of eq. (5)
+// directly from per-PoP ingress totals te(n) and egress totals tx(m),
+// without materializing an Instance. It is the kernel shared by Gravity /
+// GeneralizedGravity and by internal/stream's incremental estimator, which
+// maintains te and tx as running sums over a sliding window of collected
+// intervals — sharing the arithmetic is what lets the incremental estimate
+// match a batch solve bit-for-bit (up to the running sums themselves).
+// peers may be nil.
+func GravityFromTotals(net *topology.Network, te, tx linalg.Vector, peers map[int]bool) linalg.Vector {
 	n := net.NumPoPs()
 	s := linalg.NewVector(net.NumPairs())
 	for src := 0; src < n; src++ {

@@ -1,6 +1,10 @@
 // Package linalg provides the dense linear-algebra kernels used by the
 // traffic-matrix estimation library: vectors, row-major matrices,
 // Householder QR, Cholesky factorization and the associated solvers.
+// These are the primitives behind every estimator of the paper's §4 —
+// the gravity products of eq. (5), the regularized least-squares systems
+// of eqs. (6)–(7) and the moment systems of Vardi's method (§4.2.2) all
+// reduce to the dense operations defined here.
 //
 // The package is deliberately small and allocation-conscious: every routine
 // that can write into a caller-supplied destination does so, and the hot

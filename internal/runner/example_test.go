@@ -1,0 +1,45 @@
+package runner_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// ForEach fans a loop body out over the pool. Results are written into
+// index-addressed slots, so the output is deterministic regardless of
+// which worker ran which index — the pattern every experiment driver's
+// inner sweep uses.
+func ExamplePool_ForEach() {
+	pool := runner.NewPool(4)
+	squares := make([]int, 6)
+	err := pool.ForEach(context.Background(), len(squares), func(i int) error {
+		squares[i] = i * i
+		return nil
+	})
+	fmt.Println(squares, err)
+	// Output: [0 1 4 9 16 25] <nil>
+}
+
+// Run executes whole jobs on the pool and delivers results in input
+// order: the emit callback sees job "a" strictly before job "b" even if
+// "b" finished first. This is what makes parallel tmbench output
+// byte-identical to a serial run.
+func ExampleRun() {
+	pool := runner.NewPool(2)
+	jobs := []runner.Job[string]{
+		{ID: "a", Run: func(context.Context) (string, error) { return "first", nil }},
+		{ID: "b", Run: func(context.Context) (string, error) { return "second", nil }},
+	}
+	_, err := runner.Run(context.Background(), pool, jobs, func(res runner.Result[string]) error {
+		fmt.Println(res.ID, res.Value)
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// a first
+	// b second
+}

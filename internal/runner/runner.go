@@ -170,18 +170,27 @@ func Run[T any](ctx context.Context, p *Pool, jobs []Job[T], emit func(Result[T]
 	delivered := 0
 deliver:
 	for ; delivered < len(jobs); delivered++ {
+		// A job that has already finished is always delivered, even if
+		// cancellation fired in the same instant — otherwise the select
+		// below would pick between two ready cases at random and the
+		// cancellation cut would be nondeterministic.
 		select {
 		case <-done[delivered]:
-			if emit != nil && emitErr == nil {
-				if err := emit(results[delivered]); err != nil {
-					emitErr = err
-					cancel()
-				}
+		default:
+			select {
+			case <-done[delivered]:
+			case <-runCtx.Done():
+				// Cancelled (by the caller or an emit failure): jobs
+				// that never started will never close done, so stop
+				// waiting.
+				break deliver
 			}
-		case <-runCtx.Done():
-			// Cancelled (by the caller or an emit failure): jobs that
-			// never started will never close done, so stop waiting.
-			break deliver
+		}
+		if emit != nil && emitErr == nil {
+			if err := emit(results[delivered]); err != nil {
+				emitErr = err
+				cancel()
+			}
 		}
 	}
 	wg.Wait()

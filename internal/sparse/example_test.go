@@ -1,0 +1,45 @@
+package sparse_test
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// A routing matrix is a sparse 0/1 matrix: R[l][p] = 1 iff demand p
+// crosses link l (eq. 1 of the paper). Link loads are then t = R·s.
+func ExampleBuilder() {
+	b := sparse.NewBuilder(2, 3) // 2 links, 3 demands
+	b.Add(0, 0, 1)               // demand 0 crosses link 0
+	b.Add(0, 2, 1)               // demand 2 crosses link 0
+	b.Add(1, 1, 1)               // demand 1 crosses link 1
+	b.Add(1, 2, 1)               // demand 2 crosses link 1
+	r := b.Build()
+
+	s := linalg.Vector{10, 20, 5} // demands in Mbps
+	t := r.MulVec(nil, s)         // link loads t = R·s
+	fmt.Println(r.Rows(), "links,", r.NNZ(), "nonzeros")
+	fmt.Println("loads:", t)
+	// Output:
+	// 2 links, 4 nonzeros
+	// loads: [15 25]
+}
+
+// MulVecT applies Rᵀ, the backprojection used by every gradient-based
+// estimator: it spreads link residuals back onto the demands crossing
+// each link.
+func ExampleMatrix_MulVecT() {
+	b := sparse.NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 1)
+	b.Add(1, 1, 1)
+	b.Add(1, 2, 1)
+	r := b.Build()
+
+	resid := linalg.Vector{1, 2} // per-link residuals
+	back := r.MulVecT(nil, resid)
+	fmt.Println("backprojected:", back)
+	// Output:
+	// backprojected: [1 2 3]
+}

@@ -1,8 +1,10 @@
 // Package stats provides the statistical utilities the traffic-matrix
-// analysis relies on: sample moments and covariance matrices, log-log
-// power-law regression (for the mean–variance scaling law Var = φ·λ^c),
-// empirical distributions, KL divergence, and seeded Poisson/Gaussian
-// samplers.
+// analysis relies on: sample moments and covariance matrices (the inputs
+// to Vardi's second-moment method, §4.2.2), log-log power-law regression
+// (for the paper's mean–variance scaling law Var = φ·λ^c of Fig. 6),
+// empirical distributions (the cumulative demand shares of Figs. 2–3),
+// KL divergence, and seeded Poisson/Gaussian samplers (the synthetic
+// experiment of Fig. 12).
 package stats
 
 import (

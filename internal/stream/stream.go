@@ -1,0 +1,515 @@
+// Package stream turns the batch reproduction into the continuously
+// running estimation service the paper's infrastructure implies (§5.1:
+// measurements are collected "continuously, 24 hours per day"): an Engine
+// subscribes to the collector's poll windows as the central store fills,
+// maintains sliding-window link-load and fanout state, refreshes a cheap
+// incremental gravity estimate (eq. 5) after every consumed interval, and
+// periodically schedules a full re-solve — entropy (eq. 6), Bayesian
+// (eq. 7), Vardi's second-moment method (§4.2.2) or the paper's
+// constant-fanout estimator (§4.2.4) — on a dedicated latest-wins worker,
+// so a slow solve never blocks interval ingestion and a stale pending
+// window is superseded rather than queued. The evolving traffic matrix is
+// exposed through a versioned Snapshot API (Latest / WaitVersion) that
+// cmd/tmserve serves over HTTP.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Method selects the estimator used for the periodic full re-solves.
+type Method string
+
+// The full re-solve methods the engine can schedule. Gravity is not
+// listed: it is the always-on incremental estimate, not a re-solve.
+const (
+	MethodEntropy  Method = "entropy" // entropy-regularized tomogravity, eq. (6)
+	MethodBayesian Method = "bayes"   // Bayesian MAP estimate, eq. (7)
+	MethodVardi    Method = "vardi"   // second-moment matching, §4.2.2
+	MethodFanout   Method = "fanout"  // constant-fanout estimation, §4.2.4
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Window is the sliding-window length in polling intervals. 0 means an
+	// expanding window (every consumed interval is kept).
+	Window int
+	// MinCoverage is the fraction of LSPs an interval must cover before it
+	// may be consumed once later intervals have closed it out. Intervals
+	// below it are skipped (counted in Snapshot.Skipped). Values <= 0 —
+	// including the zero value — select the default of 1 (full coverage
+	// required); to accept closed intervals at any coverage, pass a small
+	// positive fraction instead.
+	MinCoverage float64
+	// ResolveEvery schedules a full re-solve after every ResolveEvery
+	// consumed intervals; 0 disables re-solves. Only one re-solve is in
+	// flight at a time — if the window advances while one runs, only the
+	// newest pending window is solved (latest wins).
+	ResolveEvery int
+	// Method is the re-solve estimator. Defaults to MethodEntropy.
+	Method Method
+	// Reg is the regularization parameter for MethodEntropy/MethodBayesian
+	// (the paper sweeps it in Fig. 13). Defaults to 1000.
+	Reg float64
+	// PruneConsumed discards each interval from the store once this
+	// engine has consumed or skipped it, keeping an endless run at
+	// O(window) store memory. Enable it only when this engine is the
+	// store's sole consumer (tmserve does): pruning is store-wide, so a
+	// second subscriber would silently lose the pruned intervals.
+	PruneConsumed bool
+	// SigmaInv2 is σ⁻² for MethodVardi (Table 1). Defaults to 0.01.
+	SigmaInv2 float64
+	// MetricsHistory bounds the error-metric ring kept for Metrics().
+	// Defaults to 1024 points.
+	MetricsHistory int
+}
+
+// Snapshot is one published state of the evolving traffic matrix. All
+// vectors are private copies, safe to retain and serialize.
+type Snapshot struct {
+	// Version increases by one on every publication (a consumed interval
+	// or a completed re-solve). It never runs backwards, so a client can
+	// long-poll with WaitVersion(v+1).
+	Version uint64 `json:"version"`
+	// Interval is the newest polling interval included in the window.
+	Interval int `json:"interval"`
+	// Window is the number of intervals currently aggregated.
+	Window int `json:"window"`
+	// Covered is the LSP coverage of the newest consumed interval.
+	Covered int `json:"covered"`
+	// Skipped counts intervals dropped for insufficient coverage so far.
+	Skipped int `json:"skipped"`
+
+	// Gravity is the incremental gravity estimate over the window mean
+	// (Mbps per PoP pair).
+	Gravity linalg.Vector `json:"gravity"`
+	// Mean is the collected window-mean traffic matrix — the direct MPLS
+	// measurement the estimates are scored against.
+	Mean linalg.Vector `json:"mean"`
+	// Fanouts is the sliding-window fanout state α_nm = Mean_nm / Σ_m
+	// Mean_nm derived from the collected matrix (the paper's Figs. 4–5
+	// quantity, updated online).
+	Fanouts linalg.Vector `json:"fanouts"`
+	// GravityMRE scores Gravity against Mean over the demands carrying
+	// 90% of traffic (eq. 8).
+	GravityMRE float64 `json:"gravity_mre"`
+
+	// Resolve is the latest completed full re-solve (nil until the first
+	// one lands — the JSON key is absent exactly then, which is the
+	// sentinel clients should test). It may lag the window by a few
+	// intervals. The companion fields below are always serialized, since
+	// 0 is a legitimate value for an interval index or an MRE.
+	Resolve linalg.Vector `json:"resolve,omitempty"`
+	// ResolveMethod names the estimator that produced Resolve.
+	ResolveMethod Method `json:"resolve_method,omitempty"`
+	// ResolveMRE scores Resolve against the window mean it was solved on.
+	ResolveMRE float64 `json:"resolve_mre"`
+	// ResolveInterval is the newest interval of the re-solved window.
+	ResolveInterval int `json:"resolve_interval"`
+	// ResolveDuration is how long the re-solve took.
+	ResolveDuration time.Duration `json:"resolve_duration_ns"`
+
+	// Time is the wall-clock publication time.
+	Time time.Time `json:"time"`
+}
+
+// MetricPoint is one entry of the estimation-error history: the scoring
+// fields of a Snapshot without the matrices, cheap enough to keep and
+// serve in bulk.
+type MetricPoint struct {
+	Version    uint64    `json:"version"`
+	Interval   int       `json:"interval"`
+	Window     int       `json:"window"`
+	Covered    int       `json:"covered"`
+	GravityMRE float64   `json:"gravity_mre"`
+	ResolveMRE float64   `json:"resolve_mre"`
+	HasResolve bool      `json:"has_resolve"`
+	Time       time.Time `json:"time"`
+}
+
+// windowEntry is one consumed interval held in the sliding window.
+type windowEntry struct {
+	interval int
+	demand   linalg.Vector // collected rates (P)
+	loads    linalg.Vector // R·demand (L)
+}
+
+// resolveWork is one pending full re-solve request (latest wins).
+type resolveWork struct {
+	interval int
+	loads    []linalg.Vector // window link loads, private copies
+	mean     linalg.Vector   // window-mean collected matrix
+	thresh   float64
+}
+
+// Engine is the continuous estimation service. Create it with New, drive
+// it with Run (once), and read it with Latest / WaitVersion / Metrics
+// from any goroutine.
+type Engine struct {
+	rt  *topology.Routing
+	cfg Config
+
+	mu       sync.RWMutex
+	snap     Snapshot
+	have     bool
+	updateCh chan struct{} // closed and replaced on every publication
+	metrics  []MetricPoint
+
+	// consumption state, owned by the Run goroutine
+	ring      []windowEntry
+	loadSum   linalg.Vector
+	demandSum linalg.Vector
+	next      int // next interval index to consume
+	consumed  int
+	skipped   int
+
+	work     chan resolveWork
+	workerWG sync.WaitGroup
+}
+
+// New creates an Engine estimating over the given routing.
+func New(rt *topology.Routing, cfg Config) (*Engine, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("stream: negative window %d", cfg.Window)
+	}
+	if cfg.MinCoverage <= 0 || cfg.MinCoverage > 1 {
+		cfg.MinCoverage = 1
+	}
+	if cfg.Method == "" {
+		cfg.Method = MethodEntropy
+	}
+	switch cfg.Method {
+	case MethodEntropy, MethodBayesian, MethodVardi, MethodFanout:
+	default:
+		return nil, fmt.Errorf("stream: unknown method %q", cfg.Method)
+	}
+	if cfg.Reg <= 0 {
+		cfg.Reg = 1000
+	}
+	if cfg.SigmaInv2 <= 0 {
+		cfg.SigmaInv2 = 0.01
+	}
+	if cfg.MetricsHistory <= 0 {
+		cfg.MetricsHistory = 1024
+	}
+	return &Engine{
+		rt:        rt,
+		cfg:       cfg,
+		updateCh:  make(chan struct{}),
+		loadSum:   linalg.NewVector(rt.R.Rows()),
+		demandSum: linalg.NewVector(rt.Net.NumPairs()),
+		work:      make(chan resolveWork, 1),
+	}, nil
+}
+
+// Run subscribes to the store and processes poll windows until ctx is
+// done (returning ctx.Err()) or the subscription is closed by the store
+// shutting down (returning nil). It must be called at most once. Any
+// intervals already in the store are consumed immediately, so Run may be
+// started before, during or after the collection it watches.
+func (e *Engine) Run(ctx context.Context, store *collector.Store) error {
+	updates, cancel := store.Subscribe()
+	defer cancel()
+	e.workerWG.Add(1)
+	go e.resolveWorker(ctx)
+	defer func() {
+		close(e.work)
+		e.workerWG.Wait()
+	}()
+	e.scan(store)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case _, ok := <-updates:
+			if !ok {
+				// The store shut down: the collection is over and no
+				// record is in flight anymore, so every remaining
+				// interval is final — drain them without the close-out
+				// grace, which would otherwise strand the last ones.
+				e.finalDrain(store)
+				return nil
+			}
+			e.scan(store)
+		}
+	}
+}
+
+// finalDrain consumes or skips every interval still pending after the
+// collection has ended, applying MinCoverage alone (nothing can improve
+// coverage anymore).
+func (e *Engine) finalDrain(store *collector.Store) {
+	for latest := store.LatestInterval(); e.next <= latest; {
+		rates, covered, ok := store.Matrix(e.next)
+		if ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()) {
+			e.consume(e.next, rates, covered)
+		} else {
+			e.skipped++
+		}
+		e.next++
+	}
+	if e.cfg.PruneConsumed {
+		store.Prune(e.next)
+	}
+}
+
+// scan consumes every interval that is ready, in order, then (with
+// Config.PruneConsumed) prunes the consumed prefix from the store so an
+// endless run holds O(window) state. Updates are coalesced wake-ups,
+// not a reliable per-interval stream, so readiness is always re-derived
+// from the store itself.
+func (e *Engine) scan(store *collector.Store) {
+	if e.cfg.PruneConsumed {
+		defer func() { store.Prune(e.next) }() // closure: e.next advances below
+	}
+	for {
+		latest := store.LatestInterval()
+		if latest < e.next {
+			return
+		}
+		// Probe coverage first — Matrix clones the full rate vector, so
+		// it is only called once the interval will actually be consumed.
+		covered, ok := store.Coverage(e.next)
+		// An interval is final once records exist two intervals ahead:
+		// its pollers produced its records when reading interval k+1's
+		// counters, so by the time k+2 records arrive, every poller's
+		// round-k+1 uploads — including a lagging backup poller's, which
+		// may trail the fastest poller by most of a round plus TCP
+		// buffering — have had a full polling interval to land.
+		closed := latest > e.next+1
+		full := ok && covered == store.NumLSPs()
+		switch {
+		case full, closed && ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()):
+			rates, covered, ok := store.Matrix(e.next)
+			if !ok { // pruned under our feet; cannot happen with one consumer
+				e.skipped++
+				e.next++
+				continue
+			}
+			e.consume(e.next, rates, covered)
+			e.next++
+		case closed:
+			// Final but under-covered (or entirely lost): skip it rather
+			// than stalling the stream behind a hole.
+			e.skipped++
+			e.next++
+		default:
+			return // still filling; wait for more records
+		}
+	}
+}
+
+// consume folds one collected interval into the sliding window and
+// publishes a fresh snapshot with the incremental gravity estimate.
+func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
+	loads := e.rt.LinkLoads(rates)
+	e.ring = append(e.ring, windowEntry{interval: interval, demand: rates, loads: loads})
+	linalg.Axpy(1, loads, e.loadSum)
+	linalg.Axpy(1, rates, e.demandSum)
+	if e.cfg.Window > 0 && len(e.ring) > e.cfg.Window {
+		old := e.ring[0]
+		e.ring = e.ring[1:]
+		linalg.Axpy(-1, old.loads, e.loadSum)
+		linalg.Axpy(-1, old.demand, e.demandSum)
+	}
+	e.consumed++
+	k := float64(len(e.ring))
+
+	// Incremental gravity: te/tx are read off the running load sums, so
+	// the per-interval cost is O(L + P) plus the gravity product — no
+	// re-averaging of the window.
+	net := e.rt.Net
+	te := linalg.NewVector(net.NumPoPs())
+	tx := linalg.NewVector(net.NumPoPs())
+	for pop := 0; pop < net.NumPoPs(); pop++ {
+		te[pop] = e.loadSum[e.rt.IngressRow(pop)] / k
+		tx[pop] = e.loadSum[e.rt.EgressRow(pop)] / k
+	}
+	gravity := core.GravityFromTotals(net, te, tx, nil)
+
+	mean := e.demandSum.Clone()
+	mean.Scale(1 / k)
+	thresh := core.ShareThreshold(mean, 0.9)
+
+	snap := Snapshot{
+		Interval:   interval,
+		Window:     len(e.ring),
+		Covered:    covered,
+		Skipped:    e.skipped,
+		Gravity:    gravity,
+		Mean:       mean,
+		Fanouts:    traffic.FanoutsOf(net.NumPoPs(), mean),
+		GravityMRE: core.MRE(gravity, mean, thresh),
+	}
+	e.publish(snap)
+
+	if e.cfg.ResolveEvery > 0 && e.consumed%e.cfg.ResolveEvery == 0 {
+		loadsCopy := make([]linalg.Vector, len(e.ring))
+		for i, w := range e.ring {
+			loadsCopy[i] = w.loads.Clone()
+		}
+		w := resolveWork{interval: interval, loads: loadsCopy, mean: mean, thresh: thresh}
+		// Latest wins: drop a pending (not yet started) re-solve in favor
+		// of the newer window.
+		select {
+		case e.work <- w:
+		default:
+			select {
+			case <-e.work:
+			default:
+			}
+			select {
+			case e.work <- w:
+			default:
+			}
+		}
+	}
+}
+
+// publish installs the next snapshot under the write lock, carrying the
+// latest re-solve fields forward when the new snapshot has none.
+func (e *Engine) publish(snap Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prev := e.snap
+	snap.Version = prev.Version + 1
+	snap.Time = time.Now()
+	if snap.Resolve == nil && prev.Resolve != nil {
+		snap.Resolve = prev.Resolve
+		snap.ResolveMethod = prev.ResolveMethod
+		snap.ResolveMRE = prev.ResolveMRE
+		snap.ResolveInterval = prev.ResolveInterval
+		snap.ResolveDuration = prev.ResolveDuration
+	}
+	e.installLocked(snap)
+}
+
+// publishResolve merges a completed re-solve into whatever the current
+// snapshot is by then — never regressing the window state, which may
+// have advanced while the solve ran — and publishes the result.
+func (e *Engine) publishResolve(est linalg.Vector, w resolveWork, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.snap
+	snap.Version++
+	snap.Time = time.Now()
+	snap.Resolve = est
+	snap.ResolveMethod = e.cfg.Method
+	snap.ResolveMRE = core.MRE(est, w.mean, w.thresh)
+	snap.ResolveInterval = w.interval
+	snap.ResolveDuration = d
+	e.installLocked(snap)
+}
+
+// installLocked records a fully assembled snapshot. Callers hold e.mu
+// and have already set Version and Time.
+func (e *Engine) installLocked(snap Snapshot) {
+	e.snap = snap
+	e.have = true
+	e.metrics = append(e.metrics, MetricPoint{
+		Version:    snap.Version,
+		Interval:   snap.Interval,
+		Window:     snap.Window,
+		Covered:    snap.Covered,
+		GravityMRE: snap.GravityMRE,
+		ResolveMRE: snap.ResolveMRE,
+		HasResolve: snap.Resolve != nil,
+		Time:       snap.Time,
+	})
+	if len(e.metrics) > e.cfg.MetricsHistory {
+		e.metrics = e.metrics[len(e.metrics)-e.cfg.MetricsHistory:]
+	}
+	close(e.updateCh)
+	e.updateCh = make(chan struct{})
+}
+
+// resolveWorker runs full re-solves one at a time on its own goroutine.
+func (e *Engine) resolveWorker(ctx context.Context) {
+	defer e.workerWG.Done()
+	for w := range e.work {
+		if ctx.Err() != nil {
+			continue // drain without solving during shutdown
+		}
+		t0 := time.Now()
+		est, err := e.resolve(w)
+		if err != nil {
+			continue // a failed re-solve never unpublishes the previous one
+		}
+		e.publishResolve(est, w, time.Since(t0))
+	}
+}
+
+// resolve executes the configured full estimation method on one window.
+func (e *Engine) resolve(w resolveWork) (linalg.Vector, error) {
+	switch e.cfg.Method {
+	case MethodVardi:
+		cfg := core.DefaultVardiConfig()
+		cfg.SigmaInv2 = e.cfg.SigmaInv2
+		return core.Vardi(e.rt, w.loads, cfg)
+	case MethodFanout:
+		fe, err := core.EstimateFanouts(e.rt, w.loads, core.DefaultFanoutConfig())
+		if err != nil {
+			return nil, err
+		}
+		return fe.MeanDemand, nil
+	}
+	meanLoads := linalg.NewVector(len(w.loads[0]))
+	for _, t := range w.loads {
+		linalg.Axpy(1, t, meanLoads)
+	}
+	meanLoads.Scale(1 / float64(len(w.loads)))
+	inst, err := core.NewInstance(e.rt, meanLoads)
+	if err != nil {
+		return nil, err
+	}
+	prior := core.Gravity(inst)
+	if e.cfg.Method == MethodBayesian {
+		return core.Bayesian(inst, prior, e.cfg.Reg)
+	}
+	return core.Entropy(inst, prior, e.cfg.Reg)
+}
+
+// Latest returns the newest snapshot; ok is false before the first
+// interval has been consumed.
+func (e *Engine) Latest() (snap Snapshot, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snap, e.have
+}
+
+// WaitVersion blocks until a snapshot with Version >= min is published
+// (returning it) or ctx is done (returning ctx.Err()). WaitVersion(ctx, 0)
+// waits for the first snapshot.
+func (e *Engine) WaitVersion(ctx context.Context, min uint64) (Snapshot, error) {
+	for {
+		e.mu.RLock()
+		snap, have, ch := e.snap, e.have, e.updateCh
+		e.mu.RUnlock()
+		if have && snap.Version >= min {
+			return snap, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Snapshot{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Metrics returns a copy of the estimation-error history, oldest first.
+func (e *Engine) Metrics() []MetricPoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]MetricPoint, len(e.metrics))
+	copy(out, e.metrics)
+	return out
+}

@@ -1,0 +1,374 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+)
+
+// replayInto runs an engine against a store fed by a deterministic replay
+// of the scenario's series, waits until minVersion is published, shuts
+// the engine down cleanly, and returns the store for inspection.
+func replayInto(t *testing.T, sc *netsim.Scenario, eng *Engine, cycles int, minVersion uint64) *collector.Store {
+	t.Helper()
+	store := collector.NewStore(sc.Net.NumPairs())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx, store) }()
+	if err := collector.Replay(ctx, store, sc.Series, cycles, 0); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if _, err := eng.WaitVersion(ctx, minVersion); err != nil {
+		t.Fatalf("WaitVersion(%d): %v", minVersion, err)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled && err != context.DeadlineExceeded {
+		t.Fatalf("Run returned %v, want context cancellation", err)
+	}
+	return store
+}
+
+// TestIncrementalMatchesBatch is the tentpole acceptance check: after a
+// replayed collection with evictions, the engine's incremental gravity
+// estimate must match a from-scratch batch gravity solve over the same
+// window to within 1e-9.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles, window = 10, 4
+	eng, err := New(sc.Rt, Config{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, sc, eng, cycles, cycles)
+
+	snap, ok := eng.Latest()
+	if !ok {
+		t.Fatal("no snapshot after replay")
+	}
+	if snap.Interval != cycles-1 || snap.Window != window {
+		t.Fatalf("snapshot at interval %d window %d, want %d/%d", snap.Interval, snap.Window, cycles-1, window)
+	}
+
+	// Batch reference: average the window's link loads from the ground
+	// truth (replay is lossless, so collected == true demands) and solve
+	// gravity from scratch.
+	meanLoads := linalg.NewVector(sc.Rt.R.Rows())
+	meanDemand := linalg.NewVector(sc.Net.NumPairs())
+	for k := cycles - window; k < cycles; k++ {
+		linalg.Axpy(1, sc.Rt.LinkLoads(sc.Series.Demands[k]), meanLoads)
+		linalg.Axpy(1, sc.Series.Demands[k], meanDemand)
+	}
+	meanLoads.Scale(1 / float64(window))
+	meanDemand.Scale(1 / float64(window))
+	inst, err := core.NewInstance(sc.Rt, meanLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := core.Gravity(inst)
+
+	for p := range batch {
+		if d := math.Abs(batch[p] - snap.Gravity[p]); d > 1e-9 {
+			t.Fatalf("demand %d: incremental %v vs batch %v (diff %g > 1e-9)", p, snap.Gravity[p], batch[p], d)
+		}
+		if d := math.Abs(meanDemand[p] - snap.Mean[p]); d > 1e-9 {
+			t.Fatalf("demand %d: window mean %v vs batch %v (diff %g > 1e-9)", p, snap.Mean[p], meanDemand[p], d)
+		}
+	}
+}
+
+// TestVersionsMonotonic checks that every publication bumps the version
+// by exactly one and that the metric history matches; with
+// PruneConsumed, the store must hold none of the consumed intervals
+// afterwards (the O(window) memory property of an endless run).
+func TestVersionsMonotonic(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc.Rt, Config{Window: 3, PruneConsumed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 8
+	store := replayInto(t, sc, eng, cycles, cycles)
+	if n := len(store.Intervals()); n != 0 {
+		t.Fatalf("store still holds %d consumed intervals, want 0 (PruneConsumed)", n)
+	}
+	points := eng.Metrics()
+	if len(points) != cycles {
+		t.Fatalf("got %d metric points, want %d", len(points), cycles)
+	}
+	for i, p := range points {
+		if p.Version != uint64(i+1) {
+			t.Fatalf("point %d has version %d, want %d", i, p.Version, i+1)
+		}
+		if p.Interval != i {
+			t.Fatalf("point %d covers interval %d, want %d", i, p.Interval, i)
+		}
+	}
+}
+
+// TestFanoutStateRowsSumToOne checks the sliding-window fanout state: per
+// source PoP the fanouts must form a probability row.
+func TestFanoutStateRowsSumToOne(t *testing.T) {
+	sc, err := netsim.BuildEurope(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc.Rt, Config{Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayInto(t, sc, eng, 6, 6)
+	snap, _ := eng.Latest()
+	n := sc.Net.NumPoPs()
+	for src := 0; src < n; src++ {
+		var row float64
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				row += snap.Fanouts[sc.Net.PairIndex(src, dst)]
+			}
+		}
+		if math.Abs(row-1) > 1e-9 {
+			t.Fatalf("fanout row of PoP %d sums to %v", src, row)
+		}
+	}
+}
+
+// TestResolvePublishes checks that periodic full re-solves land in the
+// snapshot, scored against the window they were solved on, and that the
+// re-solve (entropy) improves on the gravity estimate it refines.
+func TestResolvePublishes(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc.Rt, Config{Window: 4, ResolveEvery: 3, Method: MethodEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := collector.NewStore(sc.Net.NumPairs())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx, store) }()
+	if err := collector.Replay(ctx, store, sc.Series, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The re-solve runs asynchronously: wait for the publication carrying it.
+	var snap Snapshot
+	for v := uint64(1); ; v++ {
+		s, err := eng.WaitVersion(ctx, v)
+		if err != nil {
+			t.Fatalf("no re-solve published: %v", err)
+		}
+		if s.Resolve != nil {
+			snap = s
+			break
+		}
+		v = s.Version
+	}
+	cancel()
+	<-done
+
+	if snap.ResolveMethod != MethodEntropy {
+		t.Fatalf("resolve method %q, want entropy", snap.ResolveMethod)
+	}
+	if len(snap.Resolve) != sc.Net.NumPairs() {
+		t.Fatalf("resolve has %d demands, want %d", len(snap.Resolve), sc.Net.NumPairs())
+	}
+	if snap.ResolveDuration <= 0 {
+		t.Fatal("resolve duration not recorded")
+	}
+	if math.IsNaN(snap.ResolveMRE) || snap.ResolveMRE < 0 {
+		t.Fatalf("bad resolve MRE %v", snap.ResolveMRE)
+	}
+	// Entropy tomography refines the gravity prior with the interior
+	// links, so on consistent loads it must not be worse than gravity on
+	// the same window (the paper's Fig. 13 / Table 2 relationship).
+	grav, ok := eng.Latest()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.ResolveMRE > grav.GravityMRE {
+		t.Fatalf("entropy re-solve MRE %.4f worse than gravity %.4f", snap.ResolveMRE, grav.GravityMRE)
+	}
+}
+
+// TestSkipsUndercoveredInterval checks the close-out rule: an interval
+// stuck below MinCoverage is skipped once a later interval has records,
+// instead of stalling the stream.
+func TestSkipsUndercoveredInterval(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := sc.Net.NumPairs()
+	store := collector.NewStore(P)
+	eng, err := New(sc.Rt, Config{MinCoverage: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx, store) }()
+
+	// Interval 0: only half the LSPs reported (below the 90% floor).
+	for p := 0; p < P/2; p++ {
+		store.Ingest(collector.RateRecord{LSP: p, Interval: 0, RateMbps: sc.Series.Demands[0][p]})
+	}
+	// Fully covered intervals 1 and 2: records two intervals ahead close
+	// interval 0 out (one interval of grace for lagging pollers).
+	for iv := 1; iv <= 2; iv++ {
+		for p := 0; p < P; p++ {
+			store.Ingest(collector.RateRecord{LSP: p, Interval: iv, RateMbps: sc.Series.Demands[iv][p]})
+		}
+	}
+	snap, err := eng.WaitVersion(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+	if snap.Skipped != 1 {
+		t.Fatalf("skipped %d intervals, want 1", snap.Skipped)
+	}
+	if snap.Interval != 2 || snap.Window != 2 {
+		t.Fatalf("snapshot interval %d window %d, want 2/2", snap.Interval, snap.Window)
+	}
+}
+
+// TestPartialCoverageConsumedWhenClosed checks the complementary case: a
+// closed interval above MinCoverage is used even though it is not fully
+// covered — the backup-poller reality of §5.1.2.
+func TestPartialCoverageConsumedWhenClosed(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := sc.Net.NumPairs()
+	store := collector.NewStore(P)
+	eng, err := New(sc.Rt, Config{MinCoverage: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx, store) }()
+
+	for p := 0; p < P-1; p++ { // one LSP lost: 131/132 ≈ 99% > 90%
+		store.Ingest(collector.RateRecord{LSP: p, Interval: 0, RateMbps: sc.Series.Demands[0][p]})
+	}
+	// Interval 0 is consumed only once records exist two intervals ahead
+	// (grace for lagging pollers), so fill intervals 1 and 2 completely.
+	for iv := 1; iv <= 2; iv++ {
+		for p := 0; p < P; p++ {
+			store.Ingest(collector.RateRecord{LSP: p, Interval: iv, RateMbps: sc.Series.Demands[iv][p]})
+		}
+	}
+	snap, err := eng.WaitVersion(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+	if snap.Skipped != 0 {
+		t.Fatalf("skipped %d intervals, want 0", snap.Skipped)
+	}
+	if snap.Window != 3 {
+		t.Fatalf("window %d, want 3 (partial interval consumed)", snap.Window)
+	}
+	first := eng.Metrics()[0]
+	if first.Covered != P-1 {
+		t.Fatalf("first interval covered %d, want %d", first.Covered, P-1)
+	}
+}
+
+// TestFinalDrainOnStoreStop checks the end-of-collection path: when the
+// store shuts down, trailing intervals that the close-out grace would
+// strand (nothing after them to close them out) are drained against
+// MinCoverage alone, and Run returns nil as documented.
+func TestFinalDrainOnStoreStop(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := sc.Net.NumPairs()
+	store := collector.NewStore(P)
+	eng, err := New(sc.Rt, Config{MinCoverage: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(ctx, store) }()
+
+	// A finite lossy collection: the last two intervals are partially
+	// covered and have nothing after them to close them out.
+	for iv := 0; iv <= 2; iv++ {
+		covered := P
+		if iv >= 1 {
+			covered = P - 2 // ~98%, above the 90% floor
+		}
+		for p := 0; p < covered; p++ {
+			store.Ingest(collector.RateRecord{LSP: p, Interval: iv, RateMbps: sc.Series.Demands[iv][p]})
+		}
+	}
+	store.Stop() // collection over: closes the engine's subscription
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v after store shutdown, want nil", err)
+	}
+	snap, ok := eng.Latest()
+	if !ok {
+		t.Fatal("no snapshot after final drain")
+	}
+	if snap.Interval != 2 || snap.Window != 3 || snap.Skipped != 0 {
+		t.Fatalf("final snapshot interval=%d window=%d skipped=%d, want 2/3/0",
+			snap.Interval, snap.Window, snap.Skipped)
+	}
+}
+
+// TestWaitVersionCancellation checks that a blocked WaitVersion returns
+// promptly when its context is cancelled.
+func TestWaitVersionCancellation(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc.Rt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := eng.WaitVersion(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("WaitVersion returned %v, want deadline exceeded", err)
+	}
+}
+
+// TestConfigValidation exercises New's input checking.
+func TestConfigValidation(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sc.Rt, Config{Window: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := New(sc.Rt, Config{Method: "nonsense"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

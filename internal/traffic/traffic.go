@@ -301,24 +301,32 @@ func (s *Series) MeanDemand(start, k int) linalg.Vector {
 // Fanouts returns the fanout vector α[k] of interval k: α_nm = s_nm / Σ_m
 // s_nm. Sources with zero traffic get a uniform row.
 func (s *Series) Fanouts(k int) linalg.Vector {
-	d := s.Demands[k]
-	a := linalg.NewVector(s.P)
-	for src := 0; src < s.N; src++ {
+	return FanoutsOf(s.N, s.Demands[k])
+}
+
+// FanoutsOf derives the fanout vector α_nm = s_nm / Σ_m s_nm from any
+// demand vector over n PoPs (pair indexing as in topology.Network:
+// row-major with the diagonal removed). Sources with zero traffic get a
+// uniform row. Shared by Series.Fanouts and the streaming engine's
+// online fanout state, so the two can never drift.
+func FanoutsOf(n int, d linalg.Vector) linalg.Vector {
+	a := linalg.NewVector(n * (n - 1))
+	for src := 0; src < n; src++ {
 		var tot float64
-		for dst := 0; dst < s.N; dst++ {
+		for dst := 0; dst < n; dst++ {
 			if dst != src {
-				tot += d[pairIndex(s.N, src, dst)]
+				tot += d[pairIndex(n, src, dst)]
 			}
 		}
-		for dst := 0; dst < s.N; dst++ {
+		for dst := 0; dst < n; dst++ {
 			if dst == src {
 				continue
 			}
-			pi := pairIndex(s.N, src, dst)
+			pi := pairIndex(n, src, dst)
 			if tot > 0 {
 				a[pi] = d[pi] / tot
 			} else {
-				a[pi] = 1 / float64(s.N-1)
+				a[pi] = 1 / float64(n-1)
 			}
 		}
 	}
