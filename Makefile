@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline docs fmt vet check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet check
 
 build:
 	$(GO) build ./...
@@ -20,18 +20,41 @@ BENCH ?= .
 bench:
 	$(GO) test -timeout 60m -bench '$(BENCH)' -benchtime 1x -run '^$$' .
 
-# Regenerate the checked-in benchmark baseline. Absolute numbers are
-# machine-dependent; the baseline exists so successive PRs on the same
-# hardware have a perf trajectory to diff against.
+# Regenerate a checked-in benchmark baseline (BASELINE names the output;
+# each PR that moves the perf trajectory writes its own BENCH_prN.json
+# next to the seed's). Absolute numbers are machine-dependent; the
+# baselines exist so successive PRs on the same hardware have a perf
+# trajectory to diff against.
+# The awk locates each unit token instead of using fixed field numbers:
+# benchmarks that b.ReportMetric a custom metric (e.g. MRE) print it
+# between ns/op and B/op, which would shift positional fields.
+BASELINE ?= BENCH_seed.json
 bench-baseline:
 	$(GO) test -timeout 60m -bench . -benchtime 1x -benchmem -run '^$$' . > bench.out
 	awk 'BEGIN { print "{"; first=1 } \
 	     /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+	       ns="0"; bytes="0"; allocs="0"; \
+	       for (i = 2; i <= NF; i++) { \
+	         if ($$i == "ns/op") ns=$$(i-1); \
+	         else if ($$i == "B/op") bytes=$$(i-1); \
+	         else if ($$i == "allocs/op") allocs=$$(i-1); \
+	       } \
 	       if (!first) printf(",\n"); first=0; \
-	       printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$3, $$5, $$7) } \
-	     END { print "\n}" }' bench.out > BENCH_seed.json
+	       printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs) } \
+	     END { print "\n}" }' bench.out > $(BASELINE)
 	@rm -f bench.out
-	@echo "wrote BENCH_seed.json"
+	@echo "wrote $(BASELINE)"
+
+# Benchmark regression gate, as run by CI's bench job: the scale
+# benchmarks plus two seed-era anchors, compared against the checked-in
+# baselines at a 2x ns/op threshold (cmd/benchdiff; first baseline
+# containing a benchmark wins).
+# (No tee: the recipe must fail on go test's exit code, not the pipe
+# tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
+bench-check:
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild' -benchtime 1x -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json bench-check.out
+	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag
 # table matches the real flag sets, and METHODS.md covers every

@@ -15,6 +15,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/topology"
 )
 
 var (
@@ -239,6 +241,115 @@ func BenchmarkAblationGreedyVsLargest(b *testing.B) {
 			}
 			b.ReportMetric(final, "final-MRE")
 		})
+	}
+}
+
+// --- Scale benchmarks (the scenario lab's 100-PoP trajectory) ---
+//
+// These are the benchmarks CI's bench job gates with cmd/benchdiff:
+// end-to-end construction and the three scale-evaluated estimators on a
+// 100-PoP / 9900-demand backbone. Named with the Scale prefix so
+// `go test -bench Scale` selects exactly this set.
+
+var (
+	scaleOnce sync.Once
+	scaleInst *scenario.Instance
+	scaleErr  error
+)
+
+func scale100(b *testing.B) *scenario.Instance {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("scale benchmarks are slow; skipping in -short mode")
+	}
+	scaleOnce.Do(func() { scaleInst, scaleErr = scenario.Build("scaled:100", 1) })
+	if scaleErr != nil {
+		b.Fatalf("scenario.Build: %v", scaleErr)
+	}
+	return scaleInst
+}
+
+// BenchmarkScaleScenarioBuild100 measures materializing the full 100-PoP
+// instance: topology generation, parallel per-source routing, calibrated
+// 288-interval traffic, busy-window ground truth.
+func BenchmarkScaleScenarioBuild100(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale benchmarks are slow; skipping in -short mode")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Build("scaled:100", int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleRoute100 isolates routing-matrix construction (one
+// Dijkstra tree per source, fanned out on the routing pool).
+func BenchmarkScaleRoute100(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale benchmarks are slow; skipping in -short mode")
+	}
+	net, err := topology.Scaled(1, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Route(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScaleMethod benchmarks one scenario-lab method on the shared
+// 100-PoP instance and reports its MRE.
+func benchScaleMethod(b *testing.B, name string) {
+	in := scale100(b)
+	var method scenario.Method
+	for _, m := range scenario.Methods(scenario.DefaultBudget()) {
+		if m.Name == name {
+			method = m
+		}
+	}
+	if method.Run == nil {
+		b.Fatalf("unknown method %s", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mre float64
+	for i := 0; i < b.N; i++ {
+		est, _, err := method.Run(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mre = core.MRE(est, in.Truth, in.Thresh)
+	}
+	b.ReportMetric(mre, "MRE")
+}
+
+func BenchmarkScaleGravity100(b *testing.B) { benchScaleMethod(b, "gravity") }
+func BenchmarkScaleEntropy100(b *testing.B) { benchScaleMethod(b, "entropy") }
+func BenchmarkScaleVardi100(b *testing.B)   { benchScaleMethod(b, "vardi") }
+
+// BenchmarkScaleEvaluate100 runs the whole cross-method harness (the
+// instance × method grid on the shared pool) over the 100-PoP instance.
+func BenchmarkScaleEvaluate100(b *testing.B) {
+	in := scale100(b)
+	methods := scenario.Methods(scenario.DefaultBudget())
+	pool := runner.NewPool(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.Evaluate(context.Background(), pool, []*scenario.Instance{in}, methods)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s/%s: %v", r.Spec, r.Method, r.Err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+// Command benchdiff gates benchmark regressions in CI: it parses the
+// text output of `go test -bench` and compares each benchmark's ns/op
+// against one or more JSON baselines (the BENCH_*.json files at the repo
+// root, written by `make bench-baseline`), failing when any benchmark
+// slowed down by more than the allowed factor.
+//
+// Baselines are searched in the order given; the first one containing a
+// benchmark wins, so a PR baseline can layer new benchmarks on top of the
+// seed baseline without copying it. Benchmarks absent from every baseline
+// are reported as new and pass (their numbers enter the next baseline).
+//
+// Benchmarks whose baseline is below the -min-ns noise floor (default
+// 1 ms) are reported but not gated: a 100-microsecond benchmark measured
+// for one iteration jitters past any sane factor.
+//
+// Usage:
+//
+//	go test -bench Scale -benchtime 1x -run '^$' . | tee bench.out
+//	go run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json bench.out
+//
+// Reading from stdin (pipe directly):
+//
+//	go test -bench Scale -benchtime 1x -run '^$' . | go run ./cmd/benchdiff -baseline BENCH_seed.json -
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry mirrors the schema written by `make bench-baseline`.
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// multiFlag collects repeated -baseline arguments.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// benchLineRe matches e.g. "BenchmarkScaleEntropy100-8   1   2049837 ns/op".
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	var baselines multiFlag
+	fs.Var(&baselines, "baseline", "baseline JSON file (repeatable; first file containing a benchmark wins)")
+	factor := fs.Float64("factor", 2.0, "maximum allowed ns/op slowdown factor vs baseline")
+	minNs := fs.Float64("min-ns", 1e6, "noise floor: benchmarks whose baseline ns/op is below this are reported but not gated (single-iteration microbenchmarks jitter past any factor)")
+	fs.Parse(args)
+	if len(baselines) == 0 {
+		return fmt.Errorf("at least one -baseline file is required")
+	}
+	if *factor <= 1 {
+		return fmt.Errorf("-factor must exceed 1, got %v", *factor)
+	}
+
+	base := make(map[string]baselineEntry)
+	for i := len(baselines) - 1; i >= 0; i-- {
+		// Reverse order + overwrite implements first-file-wins.
+		data, err := os.ReadFile(baselines[i])
+		if err != nil {
+			return err
+		}
+		var m map[string]baselineEntry
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("%s: %w", baselines[i], err)
+		}
+		for k, v := range m {
+			base[k] = v
+		}
+	}
+
+	in := os.Stdin
+	if n := fs.NArg(); n > 1 {
+		return fmt.Errorf("at most one input file, got %d", n)
+	} else if n == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var failures, compared, fresh int
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLineRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		cur, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			fresh++
+			fmt.Fprintf(out, "NEW   %-50s %14.0f ns/op (no baseline)\n", name, cur)
+			continue
+		}
+		compared++
+		ratio := cur / b.NsPerOp
+		status := "ok"
+		switch {
+		case b.NsPerOp < *minNs:
+			status = "fast" // below the noise floor: informational only
+		case ratio > *factor:
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(out, "%-5s %-50s %14.0f ns/op  baseline %14.0f  (%.2fx)\n",
+			status, name, cur, b.NsPerOp, ratio)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if compared+fresh == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	fmt.Fprintf(out, "compared %d benchmarks (%d new) against %s, threshold %.2gx\n",
+		compared, fresh, strings.Join(baselines, "+"), *factor)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2gx", failures, *factor)
+	}
+	return nil
+}

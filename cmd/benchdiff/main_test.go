@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBenchdiff(t *testing.T) {
+	dir := t.TempDir()
+	seed := write(t, dir, "seed.json", `{
+  "BenchmarkAlpha": {"ns_per_op": 1000, "bytes_per_op": 1, "allocs_per_op": 1},
+  "BenchmarkBeta": {"ns_per_op": 500, "bytes_per_op": 1, "allocs_per_op": 1}
+}`)
+	layer := write(t, dir, "pr.json", `{
+  "BenchmarkBeta": {"ns_per_op": 2000, "bytes_per_op": 1, "allocs_per_op": 1},
+  "BenchmarkGamma": {"ns_per_op": 300, "bytes_per_op": 1, "allocs_per_op": 1}
+}`)
+
+	t.Run("pass-with-layering", func(t *testing.T) {
+		// Beta at 900 ns/op: 1.8x vs the seed's 500 — but the first
+		// baseline listed wins, and listing the seed first means 900/500
+		// stays under 2x; Gamma only exists in the layered file.
+		bench := write(t, dir, "ok.out", strings.Join([]string{
+			"goos: linux",
+			"BenchmarkAlpha-8   \t10\t1100 ns/op",
+			"BenchmarkBeta-8    \t10\t900 ns/op",
+			"BenchmarkGamma     \t10\t500 ns/op",
+			"BenchmarkDelta-8   \t10\t999999 ns/op",
+			"PASS",
+		}, "\n"))
+		var sb strings.Builder
+		err := run([]string{"-baseline", seed, "-baseline", layer, "-min-ns", "0", bench}, &sb)
+		if err != nil {
+			t.Fatalf("want pass, got %v\n%s", err, sb.String())
+		}
+		out := sb.String()
+		for _, want := range []string{"ok    BenchmarkAlpha", "ok    BenchmarkBeta", "ok    BenchmarkGamma", "NEW   BenchmarkDelta"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output lacks %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("fail-on-regression", func(t *testing.T) {
+		bench := write(t, dir, "bad.out", "BenchmarkAlpha-4\t1\t2500 ns/op\n")
+		var sb strings.Builder
+		err := run([]string{"-baseline", seed, "-min-ns", "0", bench}, &sb)
+		if err == nil || !strings.Contains(err.Error(), "regressed") {
+			t.Fatalf("want regression failure, got %v\n%s", err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "FAIL  BenchmarkAlpha") {
+			t.Errorf("output lacks FAIL line:\n%s", sb.String())
+		}
+	})
+
+	t.Run("custom-factor", func(t *testing.T) {
+		bench := write(t, dir, "factor.out", "BenchmarkAlpha-4\t1\t2500 ns/op\n")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", seed, "-factor", "3", "-min-ns", "0", bench}, &sb); err != nil {
+			t.Fatalf("2.5x must pass at -factor 3, got %v", err)
+		}
+	})
+
+	t.Run("noise-floor", func(t *testing.T) {
+		// A 2.5x blowup on a baseline below the floor is reported as
+		// "fast" and does not fail the gate.
+		bench := write(t, dir, "fast.out", "BenchmarkAlpha-4\t1\t2500 ns/op\n")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", seed, bench}, &sb); err != nil {
+			t.Fatalf("sub-floor benchmark must not gate, got %v\n%s", err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "fast  BenchmarkAlpha") {
+			t.Errorf("output lacks fast line:\n%s", sb.String())
+		}
+	})
+
+	t.Run("no-bench-lines", func(t *testing.T) {
+		bench := write(t, dir, "empty.out", "PASS\nok  repro 1.0s\n")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", seed, bench}, &sb); err == nil {
+			t.Fatal("want error on input without benchmark lines")
+		}
+	})
+
+	t.Run("requires-baseline", func(t *testing.T) {
+		var sb strings.Builder
+		if err := run([]string{"-"}, &sb); err == nil {
+			t.Fatal("want error without -baseline")
+		}
+	})
+
+	t.Run("bad-baseline-json", func(t *testing.T) {
+		garbage := write(t, dir, "garbage.json", "not json")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", garbage, "-"}, &sb); err == nil {
+			t.Fatal("want error on malformed baseline")
+		}
+	})
+}

@@ -15,9 +15,14 @@
 //	tmbench -parallel 1     # fully serial (same reports)
 //	tmbench -run fig13      # a single experiment
 //	tmbench -run fig10,fig11,table2
+//	tmbench -run scale      # scenario lab: 100-PoP scale-out evaluation
 //	tmbench -timeout 2m     # stop scheduling work after 2m
 //	tmbench -seed 7         # different synthetic universe
 //	tmbench -list           # list experiment IDs
+//
+// The scenario-lab drivers (-list marks everything after the extensions)
+// run only when selected explicitly: their reports include wall-clock
+// runtimes, so they are excluded from the byte-stable default suite.
 package main
 
 import (
@@ -52,7 +57,7 @@ func run(args []string) error {
 	fs.Parse(args)
 
 	if *list {
-		for _, d := range experiments.AllDrivers() {
+		for _, d := range experiments.Registry() {
 			fmt.Printf("%-8s %s\n", d.ID, d.Title)
 		}
 		return nil

@@ -1,37 +1,67 @@
 // Command tmgen generates a synthetic evaluation scenario (topology +
 // calibrated 24-hour demand time series) and writes it as JSON.
 //
+// Scenarios come either from the paper's two subnetworks (-region) or
+// from the scenario lab's parameterized families (-family), which scale
+// and perturb far beyond them; `-family help` lists the grammar. ECMP
+// scenarios record their routing model in the file, so loading them
+// rebuilds the same fractional routing matrix.
+//
 // Usage:
 //
 //	tmgen -region europe -seed 1 -out europe.json
 //	tmgen -region america -seed 7 -out america.json
+//	tmgen -family scaled:100 -out big.json
+//	tmgen -family ecmp:25:150 -out ecmp.json
+//	tmgen -family failure:25:worst -out failed.json
+//	tmgen -family help
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 )
 
 func main() {
 	region := flag.String("region", "europe", "subnetwork to generate: europe or america")
+	family := flag.String("family", "", "scenario-family spec (e.g. scaled:100, ecmp:25:150); overrides -region; 'help' lists families")
 	seed := flag.Int64("seed", 1, "deterministic generator seed")
-	out := flag.String("out", "", "output file (default <region>.json)")
+	out := flag.String("out", "", "output file (default <region>.json or <family spec with : replaced>.json)")
 	flag.Parse()
 
-	if *out == "" {
-		*out = *region + ".json"
+	if *family == "help" {
+		fmt.Println("Scenario families (spec grammar -> description):")
+		for _, f := range scenario.Families() {
+			fmt.Printf("  %-28s %s\n", f.Usage, f.Desc)
+		}
+		return
 	}
+
 	var (
 		sc  *netsim.Scenario
 		err error
 	)
-	switch *region {
-	case "europe":
+	switch {
+	case *family != "":
+		var in *scenario.Instance
+		in, err = scenario.Build(*family, *seed)
+		if err == nil {
+			sc = in.Sc
+			if in.Note != "" {
+				fmt.Println(in.Note)
+			}
+		}
+		if *out == "" {
+			*out = strings.ReplaceAll(*family, ":", "-") + ".json"
+		}
+	case *region == "europe":
 		sc, err = netsim.BuildEurope(*seed)
-	case "america":
+	case *region == "america":
 		sc, err = netsim.BuildAmerica(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "tmgen: unknown region %q (want europe or america)\n", *region)
@@ -41,10 +71,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmgen: %v\n", err)
 		os.Exit(1)
 	}
+	if *out == "" {
+		*out = *region + ".json"
+	}
 	if err := sc.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "tmgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d PoPs, %d demands, %d interior links, %d intervals\n",
-		*out, sc.Net.NumPoPs(), sc.Net.NumPairs(), sc.Net.InteriorLinks(), len(sc.Series.Demands))
+	model := sc.Model
+	if model == "" {
+		model = netsim.RoutingSPF
+	}
+	fmt.Printf("wrote %s: %d PoPs, %d demands, %d interior links, %d intervals, %s routing\n",
+		*out, sc.Net.NumPoPs(), sc.Net.NumPairs(), sc.Net.InteriorLinks(), len(sc.Series.Demands), model)
 }

@@ -56,21 +56,28 @@ func Cao(rt *topology.Routing, loads []linalg.Vector, cfg CaoConfig) (linalg.Vec
 	cov := stats.CovarianceMatrix(loads)
 
 	// Second-moment structure, reused across rounds: row per unordered link
-	// pair (i,j) with support = demands crossing both.
+	// pair (i,j) with support = demands crossing both, each entry carrying
+	// the R_ip·R_jp routing coefficient (1 on single-path 0/1 matrices,
+	// fractional under ECMP).
 	type momentKey = [2]int
 	momentRow := map[momentKey]int{}
 	next := 0
 	var entries []struct {
 		row, pair int
+		coeff     float64
 	}
-	links := make([]int, 0, 32)
+	// Per-demand link sets and fractions via the transposed routing matrix
+	// (O(nnz), not an O(L·P) dense scan — same assembly speedup as Vardi).
+	rT := rt.R.T()
+	var links []int
+	var vals []float64
 	for pair := 0; pair < p; pair++ {
 		links = links[:0]
-		for li := 0; li < l; li++ {
-			if rt.R.At(li, pair) != 0 {
-				links = append(links, li)
-			}
-		}
+		vals = vals[:0]
+		rT.Row(pair, func(c int, v float64) {
+			links = append(links, c)
+			vals = append(vals, v)
+		})
 		for a := 0; a < len(links); a++ {
 			for c := a; c < len(links); c++ {
 				key := momentKey{links[a], links[c]}
@@ -80,7 +87,10 @@ func Cao(rt *topology.Routing, loads []linalg.Vector, cfg CaoConfig) (linalg.Vec
 					momentRow[key] = row
 					next++
 				}
-				entries = append(entries, struct{ row, pair int }{row, pair})
+				entries = append(entries, struct {
+					row, pair int
+					coeff     float64
+				}{row, pair, vals[a] * vals[c]})
 			}
 		}
 	}
@@ -114,8 +124,8 @@ func Cao(rt *topology.Routing, loads []linalg.Vector, cfg CaoConfig) (linalg.Vec
 		residRHS := make([]float64, next)
 		copy(residRHS, rhs2)
 		for _, e := range entries {
-			b.Add(l+e.row, e.pair, w*grad[e.pair])
-			residRHS[e.row] -= vcur[e.pair] - grad[e.pair]*lam[e.pair]
+			b.Add(l+e.row, e.pair, w*e.coeff*grad[e.pair])
+			residRHS[e.row] -= e.coeff * (vcur[e.pair] - grad[e.pair]*lam[e.pair])
 		}
 		for i, v := range residRHS {
 			rhs[l+i] = w * v

@@ -66,14 +66,24 @@ func BayesianNNLS(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector
 // with reg = σ² the regularization parameter. Solved by forward–backward
 // splitting with an exact per-coordinate KL proximal step.
 func Entropy(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, error) {
+	x, _, err := EntropyBudget(in, prior, reg, regIter, regTol)
+	return x, err
+}
+
+// EntropyBudget is Entropy with an explicit iteration budget and stopping
+// tolerance, and the consumed iteration count exposed. Large-backbone
+// evaluations (internal/scenario) trade the last digits of convergence
+// for bounded runtime on 10k-demand instances; the defaults used by
+// Entropy itself are regIter/regTol.
+func EntropyBudget(in *Instance, prior linalg.Vector, reg float64, maxIter int, tol float64) (linalg.Vector, int, error) {
 	if reg <= 0 {
-		return nil, fmt.Errorf("core: Entropy needs positive regularization, got %v", reg)
+		return nil, 0, fmt.Errorf("core: Entropy needs positive regularization, got %v", reg)
 	}
-	x, res := solver.EntropyRegularized(in.Rt.R, in.Loads, prior, 1/reg, regIter, regTol)
+	x, res := solver.EntropyRegularized(in.Rt.R, in.Loads, prior, 1/reg, maxIter, tol)
 	if !x.AllFinite() {
-		return nil, fmt.Errorf("core: Entropy produced non-finite estimate (%d iters)", res.Iterations)
+		return nil, 0, fmt.Errorf("core: Entropy produced non-finite estimate (%d iters)", res.Iterations)
 	}
-	return x, nil
+	return x, res.Iterations, nil
 }
 
 // Kruithof adjusts a prior traffic matrix to be consistent with the

@@ -41,14 +41,21 @@ func DefaultVardiConfig() VardiConfig {
 // Vardi's original EM on Kullback–Leibler moment distances, because sample
 // moments may be negative.
 func Vardi(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg.Vector, error) {
+	lam, _, err := VardiIters(rt, loads, cfg)
+	return lam, err
+}
+
+// VardiIters is Vardi with the solver iteration count exposed, for the
+// cross-scenario evaluation harness (internal/scenario).
+func VardiIters(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg.Vector, int, error) {
 	if len(loads) < 2 {
-		return nil, fmt.Errorf("core: Vardi needs a time series, got %d samples", len(loads))
+		return nil, 0, fmt.Errorf("core: Vardi needs a time series, got %d samples", len(loads))
 	}
 	l := rt.R.Rows()
 	p := rt.R.Cols()
 	for i, t := range loads {
 		if len(t) != l {
-			return nil, fmt.Errorf("core: Vardi sample %d has %d loads, want %d", i, len(t), l)
+			return nil, 0, fmt.Errorf("core: Vardi sample %d has %d loads, want %d", i, len(t), l)
 		}
 	}
 	tHat := stats.MeanVector(loads)
@@ -57,40 +64,57 @@ func Vardi(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg
 	// Second-moment rows: for each unordered link pair (i <= j), the model
 	// says Σ_p R_ip·R_jp·λ_p = Σ̂_ij. A pair p contributes to row (i, j)
 	// only if its path crosses both links, so we enumerate per-demand link
-	// sets rather than the L² pairs.
-	momentRow := make(map[[2]int]int) // (i,j) -> stacked row index
-	var rowOfPair func(i, j int) int
-	b := sparse.NewBuilder(l*(l+1)/2, p)
-	next := 0
-	rowOfPair = func(i, j int) int {
-		if i > j {
-			i, j = j, i
-		}
-		key := [2]int{i, j}
-		if r, ok := momentRow[key]; ok {
-			return r
-		}
-		momentRow[key] = next
-		next++
-		return next - 1
+	// sets — read off the transposed routing matrix in O(nnz) rather than
+	// by an O(L·P) dense scan, which is what keeps assembly sub-second at
+	// 100+ PoPs. The transpose also carries the entry values, so
+	// fractional (ECMP) routing matrices get their correct R_ip·R_jp
+	// coefficients; on 0/1 single-path matrices the products are exactly
+	// 1, identical to the classical assembly.
+	rT := rt.R.T() // p×l: row pair -> (link, fraction) in ascending link order
+	total := 0
+	for pair := 0; pair < p; pair++ {
+		k := rT.RowNNZ(pair)
+		total += k * (k + 1) / 2
 	}
-	links := make([]int, 0, 32)
+	// Row indices are assigned in the same first-use order a dense scan
+	// would produce, so the stacked system is bit-identical to the
+	// classical assembly on 0/1 matrices; entries are collected in the
+	// same single pass and emitted once the row count is known.
+	momentRow := make(map[[2]int]int, total/4) // (i,j) -> stacked row index
+	next := 0
+	type entry struct {
+		row, pair int
+		coeff     float64
+	}
+	entries := make([]entry, 0, total)
+	var links []int
+	var vals []float64
 	for pair := 0; pair < p; pair++ {
 		links = links[:0]
-		// Column support of pair: all rows with a 1 (interior path links
-		// plus its ingress and egress rows).
-		for li := 0; li < l; li++ {
-			if rt.R.At(li, pair) != 0 {
-				links = append(links, li)
-			}
-		}
+		vals = vals[:0]
+		rT.Row(pair, func(c int, v float64) {
+			links = append(links, c)
+			vals = append(vals, v)
+		})
 		for a := 0; a < len(links); a++ {
 			for c := a; c < len(links); c++ {
-				b.Add(rowOfPair(links[a], links[c]), pair, 1)
+				key := [2]int{links[a], links[c]}
+				row, ok := momentRow[key]
+				if !ok {
+					row = next
+					momentRow[key] = row
+					next++
+				}
+				entries = append(entries, entry{row, pair, vals[a] * vals[c]})
 			}
 		}
 	}
-	second := b.Build().SelectRows(seq(next))
+	b := sparse.NewBuilder(next, p)
+	b.Grow(len(entries))
+	for _, e := range entries {
+		b.Add(e.row, e.pair, e.coeff)
+	}
+	second := b.Build()
 	rhs2 := linalg.NewVector(next)
 	for key, row := range momentRow {
 		rhs2[row] = cov.At(key[0], key[1])
@@ -110,15 +134,7 @@ func Vardi(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg
 	x0.Fill(tHat.Sum() / float64(l) / float64(p) * float64(l))
 	lam, res := solver.LeastSquaresNonneg(stacked, rhs, nil, 0, x0, cfg.MaxIter, cfg.Tol)
 	if !lam.AllFinite() {
-		return nil, fmt.Errorf("core: Vardi produced non-finite estimate (%d iters)", res.Iterations)
+		return nil, 0, fmt.Errorf("core: Vardi produced non-finite estimate (%d iters)", res.Iterations)
 	}
-	return lam, nil
-}
-
-func seq(n int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = i
-	}
-	return s
+	return lam, res.Iterations, nil
 }

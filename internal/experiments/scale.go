@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// scaleSpecs are the scenario-lab instances the scale driver evaluates:
+// two growth steps past the paper's largest (25-PoP) network up to a
+// 100-PoP / 9900-demand backbone, plus one instance of each perturbation
+// family at paper-adjacent sizes.
+var scaleSpecs = []string{
+	"scaled:50",
+	"scaled:100",
+	"failure:25:worst",
+	"ecmp:25:150",
+	"noisy:50:0.05",
+}
+
+// ScaleDrivers returns the scenario-lab drivers. They are registered (so
+// `tmbench -run scale` and DriverByID find them) but deliberately not
+// part of AllDrivers: their reports include wall-clock runtimes, which
+// would break the byte-identical serial-vs-parallel guarantee of the
+// default suite, and a 100-PoP evaluation does not belong in every
+// default tmbench run.
+func ScaleDrivers() []Driver {
+	return []Driver{
+		{"scale", "Scenario lab: estimator scale-out across generated families", (*Suite).ScaleLab},
+	}
+}
+
+// Registry returns every driver an ID can resolve to: the paper
+// experiments, the extensions, and the scenario-lab drivers.
+func Registry() []Driver {
+	return append(AllDrivers(), ScaleDrivers()...)
+}
+
+// ScaleLab builds the scenario-lab instances and scores gravity, entropy
+// and Vardi on each, reporting the paper's MRE alongside relative L1/L2
+// error, solver iterations and wall-clock runtime. Instance construction
+// and the method × instance grid both fan out on the suite's pool.
+func (s *Suite) ScaleLab(ctx context.Context) (*Report, error) {
+	r := &Report{ID: "scale", Title: "Scenario lab: estimator scale-out across generated families"}
+	insts := make([]*scenario.Instance, len(scaleSpecs))
+	if err := s.forEach(ctx, len(scaleSpecs), func(i int) error {
+		in, err := scenario.Build(scaleSpecs[i], s.Seed)
+		if err != nil {
+			return err
+		}
+		insts[i] = in
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, in := range insts {
+		line := fmt.Sprintf("%-16s %3d PoPs %5d pairs %4d links",
+			in.Spec, in.Sc.Net.NumPoPs(), in.Sc.Net.NumPairs(), in.Sc.Net.InteriorLinks())
+		if in.Note != "" {
+			line += "  (" + in.Note + ")"
+		}
+		r.Lines = append(r.Lines, line)
+	}
+	r.addf("%-16s %-8s %7s %7s %7s %7s %9s", "spec", "method", "MRE", "relL1", "relL2", "iters", "seconds")
+	results, err := scenario.Evaluate(ctx, s.pool, insts, scenario.Methods(scenario.DefaultBudget()))
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			r.addf("%-16s %-8s FAILED: %v", res.Spec, res.Method, res.Err)
+			continue
+		}
+		r.addf("%-16s %-8s %7.3f %7.3f %7.3f %7d %9.2f",
+			res.Spec, res.Method, res.MRE, res.RelL1, res.RelL2,
+			res.Iterations, res.Runtime.Seconds())
+	}
+	r.addf("(the lab extends the paper's two fixed subnetworks to arbitrary sizes and")
+	r.addf(" perturbations; runtimes are wall-clock, so this report is not byte-stable)")
+	return r, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScaleRegistry: the scenario-lab driver is resolvable by ID (so
+// `tmbench -run scale` works) but stays out of the byte-stable default
+// suite.
+func TestScaleRegistry(t *testing.T) {
+	d, ok := DriverByID("scale")
+	if !ok {
+		t.Fatal("DriverByID(scale) not found")
+	}
+	if d.ID != "scale" || d.Run == nil {
+		t.Fatalf("bad scale driver %+v", d)
+	}
+	for _, def := range AllDrivers() {
+		if def.ID == "scale" {
+			t.Fatal("scale must not be part of the default (byte-stable) suite")
+		}
+	}
+	reg := Registry()
+	if len(reg) != len(AllDrivers())+len(ScaleDrivers()) {
+		t.Fatalf("Registry has %d drivers, want %d", len(reg), len(AllDrivers())+len(ScaleDrivers()))
+	}
+	// Every spec the driver evaluates must parse.
+	for _, spec := range scaleSpecs {
+		if !strings.Contains(spec, ":") {
+			t.Fatalf("spec %q has no family argument", spec)
+		}
+	}
+}
+
+// TestScaleLabCancellation: a canceled context stops the lab before any
+// instance is built.
+func TestScaleLabCancellation(t *testing.T) {
+	s := getSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ScaleLab(ctx); err == nil {
+		t.Fatal("canceled ScaleLab must fail")
+	}
+}
+
+// TestScaleLabSmall runs the lab machinery end to end on a reduced spec
+// set (tiny instances) by exercising scenario.Evaluate through the same
+// pool the driver uses — the full 100-PoP run lives in the benchmarks
+// and CI's bench job.
+func TestScaleLabSmall(t *testing.T) {
+	s := getSuite(t)
+	specs := []string{"scaled:6", "ecmp:6:150"}
+	insts := make([]*scenario.Instance, len(specs))
+	for i, spec := range specs {
+		in, err := scenario.Build(spec, s.Seed)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		insts[i] = in
+	}
+	results, err := scenario.Evaluate(context.Background(), s.Pool(), insts, scenario.Methods(scenario.DefaultBudget()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs)*3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Spec, r.Method, r.Err)
+		}
+	}
+}

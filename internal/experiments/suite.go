@@ -55,6 +55,11 @@ func (r *Report) addf(format string, args ...interface{}) {
 type Suite struct {
 	EU, US *netsim.Scenario
 
+	// Seed is the scenario seed the suite was built with; drivers that
+	// construct additional scenarios (the scenario lab) reuse it so one
+	// seed determines the whole evaluation universe.
+	Seed int64
+
 	// Busy-window snapshot per region.
 	TruthEU, TruthUS   linalg.Vector
 	InstEU, InstUS     *core.Instance
@@ -88,7 +93,7 @@ func NewSuiteWithPool(seed int64, pool *runner.Pool) (*Suite, error) {
 	if pool == nil {
 		pool = runner.NewPool(0)
 	}
-	s := &Suite{EU: eu, US: us, pool: pool}
+	s := &Suite{EU: eu, US: us, Seed: seed, pool: pool}
 	if s.TruthEU, s.InstEU, s.ThreshEU, err = eu.Snapshot(BusyWindowSamples); err != nil {
 		return nil, err
 	}
@@ -192,9 +197,9 @@ func Drivers() []Driver {
 }
 
 // DriverByID returns the driver with the given ID, searching the paper
-// experiments and the extensions.
+// experiments, the extensions and the scenario-lab drivers.
 func DriverByID(id string) (Driver, bool) {
-	for _, d := range AllDrivers() {
+	for _, d := range Registry() {
 		if d.ID == id {
 			return d, true
 		}

@@ -19,39 +19,80 @@ import (
 	"repro/internal/traffic"
 )
 
+// RoutingModel selects how a scenario's routing matrix is computed from
+// its topology. It is part of the serialized scenario schema, so a loaded
+// scenario reconstructs the same (possibly fractional) matrix it was
+// built with.
+type RoutingModel string
+
+const (
+	// RoutingSPF is single shortest-path routing (the default; matches
+	// the paper's CSPF-derived single-path LSPs at low reservation).
+	RoutingSPF RoutingModel = "spf"
+	// RoutingECMP splits demands evenly over all equal-cost shortest
+	// paths, producing fractional routing-matrix entries (the
+	// generalization the paper notes below eq. 1).
+	RoutingECMP RoutingModel = "ecmp"
+)
+
 // Scenario is a complete evaluation data set for one subnetwork.
 type Scenario struct {
 	Region string
 	Net    *topology.Network
 	Rt     *topology.Routing
 	Series *traffic.Series
+	Model  RoutingModel
 }
 
 // BuildEurope constructs the European evaluation scenario (12 PoPs, 132
 // demands, 72 interior links) with deterministic seeding.
 func BuildEurope(seed int64) (*Scenario, error) {
-	return build("europe", topology.Europe(seed), traffic.Europe(seed))
+	return BuildWith("europe", topology.Europe(seed), traffic.Europe(seed), RoutingSPF)
 }
 
 // BuildAmerica constructs the American evaluation scenario (25 PoPs, 600
 // demands, 284 interior links).
 func BuildAmerica(seed int64) (*Scenario, error) {
-	return build("america", topology.America(seed), traffic.America(seed))
+	return BuildWith("america", topology.America(seed), traffic.America(seed), RoutingSPF)
 }
 
-func build(region string, net *topology.Network, cfg traffic.Config) (*Scenario, error) {
-	rt, err := net.Route()
-	if err != nil {
-		return nil, fmt.Errorf("netsim: routing %s: %w", region, err)
-	}
+// BuildWith bundles an arbitrary generated network and traffic
+// configuration into a scenario under the given routing model — the
+// constructor the scenario-family registry uses to go beyond the paper's
+// two fixed subnetworks.
+func BuildWith(region string, net *topology.Network, cfg traffic.Config, model RoutingModel) (*Scenario, error) {
 	series, err := traffic.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: traffic %s: %w", region, err)
 	}
+	return FromSeries(region, net, series, model)
+}
+
+// FromSeries bundles a network and an existing demand series into a
+// scenario, routing the network under the given model. It is what lets a
+// derived scenario (link failure, re-quantized metrics, ECMP) keep the
+// exact demand ground truth of its base scenario while the routing — and
+// therefore every link load — changes underneath it.
+func FromSeries(region string, net *topology.Network, series *traffic.Series, model RoutingModel) (*Scenario, error) {
+	rt, err := routeFor(net, model)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: routing %s: %w", region, err)
+	}
 	if series.P != net.NumPairs() {
 		return nil, fmt.Errorf("netsim: %s traffic has %d pairs, network %d", region, series.P, net.NumPairs())
 	}
-	return &Scenario{Region: region, Net: net, Rt: rt, Series: series}, nil
+	return &Scenario{Region: region, Net: net, Rt: rt, Series: series, Model: model}, nil
+}
+
+func routeFor(net *topology.Network, model RoutingModel) (*topology.Routing, error) {
+	switch model {
+	case RoutingECMP:
+		return net.RouteECMP()
+	case RoutingSPF, "":
+		return net.Route()
+	default:
+		return nil, fmt.Errorf("netsim: unknown routing model %q", model)
+	}
 }
 
 // LinkLoads returns the consistent link loads of interval k.
@@ -105,9 +146,14 @@ func PerturbLoads(loads linalg.Vector, relStd float64, seed int64) linalg.Vector
 	return out
 }
 
-// file is the JSON serialization schema of a Scenario.
+// file is the JSON serialization schema of a Scenario. Routing is the
+// RoutingModel; absent (older files) means single shortest-path. The
+// routing matrix itself is never serialized — it is rebuilt from the
+// topology and the model on load, which keeps fractional ECMP entries
+// intact without storing L×P matrices.
 type file struct {
 	Region  string         `json:"region"`
+	Routing string         `json:"routing,omitempty"`
 	Network networkFile    `json:"network"`
 	Traffic traffic.Config `json:"traffic_config"`
 	Times   []float64      `json:"times"`
@@ -126,7 +172,8 @@ type networkFile struct {
 // Save writes the scenario (topology + full demand series) as JSON.
 func (sc *Scenario) Save(w io.Writer) error {
 	f := file{
-		Region: sc.Region,
+		Region:  sc.Region,
+		Routing: string(sc.Model),
 		Network: networkFile{
 			Name: sc.Net.Name, PoPs: sc.Net.PoPs,
 			Routers: sc.Net.Routers, Links: sc.Net.Links,
@@ -168,7 +215,11 @@ func Load(r io.Reader) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: load network: %w", err)
 	}
-	rt, err := net.Route()
+	model := RoutingModel(f.Routing)
+	if model == "" {
+		model = RoutingSPF
+	}
+	rt, err := routeFor(net, model)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: load routing: %w", err)
 	}
@@ -186,7 +237,7 @@ func Load(r io.Reader) (*Scenario, error) {
 		}
 		series.Demands[k] = d
 	}
-	return &Scenario{Region: f.Region, Net: net, Rt: rt, Series: series}, nil
+	return &Scenario{Region: f.Region, Net: net, Rt: rt, Series: series, Model: model}, nil
 }
 
 // LoadFile reads a scenario from the named file.

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ecmpScenario builds a small scenario whose quantized metrics create
+// equal-cost ties, routed with fractional ECMP splitting.
+func ecmpScenario(t *testing.T) *Scenario {
+	t.Helper()
+	net := topology.QuantizeMetrics(topology.Europe(1), 150)
+	sc, err := BuildWith("europe-ecmp", net, traffic.Europe(1), RoutingECMP)
+	if err != nil {
+		t.Fatalf("BuildWith: %v", err)
+	}
+	return sc
+}
+
+// fractionalEntries counts routing-matrix entries strictly between 0 and 1.
+func fractionalEntries(sc *Scenario) int {
+	n := 0
+	for l := 0; l < sc.Rt.R.Rows(); l++ {
+		sc.Rt.R.Row(l, func(c int, v float64) {
+			if v > 1e-12 && v < 1-1e-12 {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// TestECMPRoundTrip: an ECMP-routed scenario must survive Save/Load with
+// its routing model, every fractional routing entry and every link load
+// intact — the regression this test pins is Load silently rebuilding
+// single-path routes for a scenario that was built fractional.
+func TestECMPRoundTrip(t *testing.T) {
+	sc := ecmpScenario(t)
+	if sc.Model != RoutingECMP {
+		t.Fatalf("model %q", sc.Model)
+	}
+	frac := fractionalEntries(sc)
+	if frac == 0 {
+		t.Fatal("quantized European network produced no fractional entries; test is vacuous")
+	}
+
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Model != RoutingECMP {
+		t.Fatalf("loaded model %q, want %q", got.Model, RoutingECMP)
+	}
+	if got.Region != sc.Region {
+		t.Fatalf("region %q, want %q", got.Region, sc.Region)
+	}
+
+	// The rebuilt routing matrix must match entry for entry, fractions
+	// included.
+	if got.Rt.R.Rows() != sc.Rt.R.Rows() || got.Rt.R.Cols() != sc.Rt.R.Cols() {
+		t.Fatalf("matrix shape %dx%d, want %dx%d",
+			got.Rt.R.Rows(), got.Rt.R.Cols(), sc.Rt.R.Rows(), sc.Rt.R.Cols())
+	}
+	if got.Rt.R.NNZ() != sc.Rt.R.NNZ() {
+		t.Fatalf("nnz %d, want %d", got.Rt.R.NNZ(), sc.Rt.R.NNZ())
+	}
+	for l := 0; l < sc.Rt.R.Rows(); l++ {
+		sc.Rt.R.Row(l, func(c int, v float64) {
+			if gv := got.Rt.R.At(l, c); gv != v {
+				t.Fatalf("R[%d,%d] = %v after round trip, want %v", l, c, gv, v)
+			}
+		})
+	}
+	if gotFrac := fractionalEntries(got); gotFrac != frac {
+		t.Fatalf("fractional entries %d after round trip, want %d", gotFrac, frac)
+	}
+
+	// Demands and the loads derived from them are identical too.
+	if len(got.Series.Demands) != len(sc.Series.Demands) {
+		t.Fatalf("got %d intervals, want %d", len(got.Series.Demands), len(sc.Series.Demands))
+	}
+	for _, k := range []int{0, 100, len(sc.Series.Demands) - 1} {
+		want := sc.LinkLoads(k)
+		have := got.LinkLoads(k)
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("interval %d link %d load %v, want %v", k, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSPFRoundTripModel: scenarios built before the routing-model field
+// existed (empty model) and explicit SPF scenarios both load as SPF.
+func TestSPFRoundTripModel(t *testing.T) {
+	sc, err := BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Model != RoutingSPF {
+		t.Fatalf("BuildEurope model %q", sc.Model)
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != RoutingSPF {
+		t.Fatalf("loaded model %q, want spf", got.Model)
+	}
+	// Legacy file without the routing field: strip it by re-marshalling a
+	// zero-model scenario.
+	legacy := *sc
+	legacy.Model = ""
+	buf.Reset()
+	if err := legacy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"region"`)) || bytes.Contains(buf.Bytes(), []byte(`"routing"`)) {
+		t.Fatal("zero-model scenario must omit the routing field (legacy schema)")
+	}
+	got, err = Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != RoutingSPF {
+		t.Fatalf("legacy file loaded as %q, want spf", got.Model)
+	}
+	// Unknown models are rejected, not silently defaulted.
+	bad := bytes.Replace(bufWithModel(t, sc), []byte(`"routing":"spf"`), []byte(`"routing":"warp"`), 1)
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown routing model must fail to load")
+	}
+}
+
+func bufWithModel(t *testing.T, sc *Scenario) []byte {
+	t.Helper()
+	withModel := *sc
+	withModel.Model = RoutingSPF
+	var buf bytes.Buffer
+	if err := withModel.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"routing":"spf"`)) {
+		t.Fatal("expected explicit routing field")
+	}
+	return buf.Bytes()
+}

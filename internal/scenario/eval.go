@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/runner"
+)
+
+// Method is one estimator wired for the cross-family evaluation harness.
+type Method struct {
+	Name string
+	// Run estimates the instance's traffic matrix and reports the solver
+	// iterations consumed (0 for closed-form methods).
+	Run func(in *Instance) (linalg.Vector, int, error)
+}
+
+// Budget bounds the solver work per method. The paper-fidelity defaults
+// (core's regIter/regTol, DefaultVardiConfig) converge to 1e-9 on the
+// paper-sized networks but are wasteful at 10k demands, where the scoring
+// metrics stabilize orders of magnitude earlier — the scenario lab trades
+// the last digits of convergence for bounded runtime.
+type Budget struct {
+	EntropyReg  float64
+	EntropyIter int
+	EntropyTol  float64
+	Vardi       core.VardiConfig
+}
+
+// DefaultBudget returns the budget the scale experiment and benchmarks
+// use: the paper's regularization strengths with iteration caps sized for
+// 100+-PoP instances.
+func DefaultBudget() Budget {
+	return Budget{
+		EntropyReg: 1000, EntropyIter: 12000, EntropyTol: 1e-7,
+		Vardi: core.VardiConfig{SigmaInv2: 0.01, MaxIter: 6000, Tol: 1e-7},
+	}
+}
+
+// Methods returns the cross-family method set under the given budget:
+// the gravity model (closed form), the entropy-regularized estimator with
+// a gravity prior, and Vardi's second-moment method over the busy-window
+// load series.
+func Methods(b Budget) []Method {
+	return []Method{
+		{Name: "gravity", Run: func(in *Instance) (linalg.Vector, int, error) {
+			return core.Gravity(in.Inst), 0, nil
+		}},
+		{Name: "entropy", Run: func(in *Instance) (linalg.Vector, int, error) {
+			prior := core.Gravity(in.Inst)
+			return core.EntropyBudget(in.Inst, prior, b.EntropyReg, b.EntropyIter, b.EntropyTol)
+		}},
+		{Name: "vardi", Run: func(in *Instance) (linalg.Vector, int, error) {
+			return core.VardiIters(in.Sc.Rt, in.Loads, b.Vardi)
+		}},
+	}
+}
+
+// Result scores one (instance, method) cell.
+type Result struct {
+	Spec, Method string
+	// MRE is the paper's mean relative error over the demands carrying
+	// 90% of traffic (eq. 8).
+	MRE float64
+	// RelL1 and RelL2 are ‖ŝ−s‖₁/‖s‖₁ and ‖ŝ−s‖₂/‖s‖₂ over all demands.
+	RelL1, RelL2 float64
+	Iterations   int
+	Runtime      time.Duration
+	Err          error
+}
+
+// RelL1 returns the relative L1 error ‖est−truth‖₁/‖truth‖₁ (0 when the
+// truth is identically zero).
+func RelL1(est, truth linalg.Vector) float64 {
+	if len(est) != len(truth) {
+		panic("scenario: RelL1 length mismatch")
+	}
+	var num, den float64
+	for i, t := range truth {
+		num += math.Abs(est[i] - t)
+		den += math.Abs(t)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RelL2 returns the relative L2 error ‖est−truth‖₂/‖truth‖₂ (0 when the
+// truth is identically zero).
+func RelL2(est, truth linalg.Vector) float64 {
+	if len(est) != len(truth) {
+		panic("scenario: RelL2 length mismatch")
+	}
+	var num, den float64
+	for i, t := range truth {
+		d := est[i] - t
+		num += d * d
+		den += t * t
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// Evaluate scores every method on every instance, fanning the
+// instance × method grid out on the pool. Results come back in grid
+// order (instances outer, methods inner) regardless of execution order;
+// a method failure is recorded in its cell, not fatal to the run.
+func Evaluate(ctx context.Context, pool *runner.Pool, instances []*Instance, methods []Method) ([]Result, error) {
+	jobs := make([]runner.Job[Result], 0, len(instances)*len(methods))
+	for _, in := range instances {
+		for _, m := range methods {
+			in, m := in, m
+			jobs = append(jobs, runner.Job[Result]{
+				ID: fmt.Sprintf("%s/%s", in.Spec, m.Name),
+				Run: func(ctx context.Context) (Result, error) {
+					res := Result{Spec: in.Spec, Method: m.Name}
+					t0 := time.Now()
+					est, iters, err := m.Run(in)
+					res.Runtime = time.Since(t0)
+					res.Iterations = iters
+					if err != nil {
+						res.Err = err
+						return res, nil
+					}
+					res.MRE = core.MRE(est, in.Truth, in.Thresh)
+					res.RelL1 = RelL1(est, in.Truth)
+					res.RelL2 = RelL2(est, in.Truth)
+					return res, nil
+				},
+			})
+		}
+	}
+	rs, err := runner.Run(ctx, pool, jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = r.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+// Package scenario is the scenario lab: a registry of parameterized
+// scenario families that turn the seeded backbone generator, the routing
+// engines and the calibrated traffic generator into a diverse, repeatable
+// evaluation space far beyond the paper's two extracted subnetworks
+// (12-PoP Europe, 25-PoP America).
+//
+// A family spec is a colon-separated string — "scaled:100",
+// "failure:25:worst", "ecmp:25:150", "quantized:50:100", "noisy:50:0.05"
+// — and Build turns it into a netsim.Scenario-compatible Instance with
+// ground truth: the busy-window mean demand, a consistent (or
+// deliberately perturbed) snapshot estimation problem, and the
+// busy-window load series for the time-series methods. The companion
+// evaluation harness (eval.go) scores any set of estimation methods
+// across any set of instances, fanning out on internal/runner.
+//
+// The families deliberately stress the assumptions the paper's methods
+// rest on: scaled(n) grows the underdetermined system to 10k+ demands,
+// failure(link) reroutes the surviving topology (the what-if task of the
+// paper's introduction), ecmp splits demands over equal-cost paths so the
+// routing matrix becomes fractional (the generalization below eq. 1),
+// quantized coarsens IGP metrics the way operators do, and noisy injects
+// the SNMP measurement error the paper's clean data set excludes (§6).
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+	"repro/internal/te"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// DefaultWindow is the busy-period length every instance is evaluated
+// over: 50 five-minute samples, the paper's 250-minute busy period
+// (§5.3.4, same constant as experiments.BusyWindowSamples).
+const DefaultWindow = 50
+
+// Instance is one fully materialized evaluation problem: a scenario plus
+// its busy-window ground truth and the measurement views estimators see.
+type Instance struct {
+	// Spec is the canonical family spec this instance was built from.
+	Spec string
+	// Family is the family name (first spec component).
+	Family string
+	// Sc is the underlying scenario (topology, routing, demand series).
+	Sc *netsim.Scenario
+	// Start and Window delimit the busy period within the series.
+	Start, Window int
+	// Truth is the busy-window mean demand vector — the ground truth
+	// every estimate is scored against.
+	Truth linalg.Vector
+	// Thresh is the 90%-of-traffic demand threshold for MRE scoring.
+	Thresh float64
+	// Inst is the snapshot estimation problem: routing matrix plus the
+	// link loads of the mean busy-window demand (perturbed for the noisy
+	// family).
+	Inst *core.Instance
+	// Loads is the busy-window link-load series for time-series methods
+	// (Vardi, fanout), perturbed per interval for the noisy family.
+	Loads []linalg.Vector
+	// Note carries family-specific context (failed link, split demands,
+	// noise level) for reports.
+	Note string
+}
+
+// Family documents one registered scenario family.
+type Family struct {
+	// Name is the spec prefix.
+	Name string
+	// Usage is the spec grammar, e.g. "failure:<base>[:worst|<linkID>]".
+	Usage string
+	// Desc is a one-line description.
+	Desc string
+
+	build func(args []string, seed int64) (*Instance, error)
+}
+
+// families is the registry, in documentation order.
+var families = []Family{
+	{
+		Name:  "scaled",
+		Usage: "scaled:<n|europe|america>",
+		Desc:  "generated backbone with n PoPs (ring + skewed chords, ~3 adjacencies/PoP), single shortest-path routing; europe/america are the paper's subnetworks",
+		build: buildScaled,
+	},
+	{
+		Name:  "failure",
+		Usage: "failure:<base>[:worst|<linkID>]",
+		Desc:  "single-link failure: the adjacency is removed and all demands reroute on the survivor topology; 'worst' (default) picks the adjacency whose failure maximizes post-failure utilization under the true demands",
+		build: buildFailure,
+	},
+	{
+		Name:  "ecmp",
+		Usage: "ecmp:<base>[:step]",
+		Desc:  "metrics quantized to a coarse grid (default step 150) so equal-cost ties appear, then ECMP fractional routing — the routing matrix generalization below eq. 1",
+		build: buildECMP,
+	},
+	{
+		Name:  "quantized",
+		Usage: "quantized:<base>[:step]",
+		Desc:  "metrics quantized to a coarse grid (default step 150) with single shortest-path routing — same topology as ecmp but the single-path model",
+		build: buildQuantized,
+	},
+	{
+		Name:  "noisy",
+		Usage: "noisy:<base>[:relstd]",
+		Desc:  "multiplicative Gaussian measurement noise (default 5% relative std) on every link load — the SNMP error the paper's clean data set excludes (§6)",
+		build: buildNoisy,
+	},
+}
+
+// Families lists the registered scenario families in documentation order.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// Build materializes the instance described by spec with the given seed.
+// The seed flows into topology generation, traffic generation and any
+// noise, so equal (spec, seed) always reproduces the same instance.
+func Build(spec string, seed int64) (*Instance, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	name := parts[0]
+	for _, f := range families {
+		if f.Name == name {
+			in, err := f.build(parts[1:], seed)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", spec, err)
+			}
+			in.Spec = spec
+			in.Family = name
+			return in, nil
+		}
+	}
+	known := make([]string, len(families))
+	for i, f := range families {
+		known[i] = f.Name
+	}
+	return nil, fmt.Errorf("scenario %q: unknown family %q (have %s)", spec, name, strings.Join(known, ", "))
+}
+
+// baseParts resolves a family's <base> argument to a generated network
+// and its calibrated traffic configuration: "europe", "america", or a
+// PoP count for the scaled generator.
+func baseParts(arg string, seed int64) (*topology.Network, traffic.Config, error) {
+	switch arg {
+	case "", "europe":
+		return topology.Europe(seed), traffic.Europe(seed), nil
+	case "america":
+		return topology.America(seed), traffic.America(seed), nil
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil {
+		return nil, traffic.Config{}, fmt.Errorf("base %q is neither europe, america nor a PoP count", arg)
+	}
+	if n < 3 || n > 500 {
+		return nil, traffic.Config{}, fmt.Errorf("PoP count %d out of range [3, 500]", n)
+	}
+	net, err := topology.Scaled(seed, n)
+	if err != nil {
+		return nil, traffic.Config{}, err
+	}
+	return net, traffic.Scaled(seed, n), nil
+}
+
+// finish derives the busy-window ground truth and measurement views from
+// a routed scenario. noise > 0 perturbs every measured load vector (but
+// never the truth) with multiplicative Gaussian noise of that relative
+// standard deviation.
+func finish(sc *netsim.Scenario, noise float64, seed int64) (*Instance, error) {
+	w := DefaultWindow
+	if n := len(sc.Series.Demands); w > n {
+		w = n
+	}
+	start := sc.BusyWindow(w)
+	truth := sc.Series.MeanDemand(start, w)
+	loads := make([]linalg.Vector, w)
+	for i := range loads {
+		v := sc.LinkLoads(start + i)
+		if noise > 0 {
+			// Distinct derived seed per interval; offset 1 keeps the
+			// snapshot's noise stream (below) independent of interval 0.
+			v = netsim.PerturbLoads(v, noise, seed+int64(i+1)*7919)
+		}
+		loads[i] = v
+	}
+	snap := sc.Rt.LinkLoads(truth)
+	if noise > 0 {
+		snap = netsim.PerturbLoads(snap, noise, seed)
+	}
+	inst, err := core.NewInstance(sc.Rt, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Sc: sc, Start: start, Window: w,
+		Truth: truth, Thresh: core.ShareThreshold(truth, 0.9),
+		Inst: inst, Loads: loads,
+	}, nil
+}
+
+func buildScaled(args []string, seed int64) (*Instance, error) {
+	arg := ""
+	if len(args) > 0 {
+		arg = args[0]
+	}
+	net, cfg, err := baseParts(arg, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := netsim.BuildWith(net.Name, net, cfg, netsim.RoutingSPF)
+	if err != nil {
+		return nil, err
+	}
+	return finish(sc, 0, seed)
+}
+
+func buildFailure(args []string, seed int64) (*Instance, error) {
+	arg, which := "", "worst"
+	if len(args) > 0 {
+		arg = args[0]
+	}
+	if len(args) > 1 {
+		which = args[1]
+	}
+	net, cfg, err := baseParts(arg, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := netsim.BuildWith(net.Name, net, cfg, netsim.RoutingSPF)
+	if err != nil {
+		return nil, err
+	}
+	w := DefaultWindow
+	start := base.BusyWindow(w)
+	truth := base.Series.MeanDemand(start, w)
+	var linkID int
+	if which == "worst" {
+		// The what-if sweep of internal/te: fail every adjacency, keep
+		// the one with the worst post-failure utilization.
+		worst, _, err := te.WorstCaseFailure(net, truth)
+		if err != nil {
+			return nil, fmt.Errorf("worst-case failure sweep: %w", err)
+		}
+		linkID = worst
+	} else {
+		linkID, err = strconv.Atoi(which)
+		if err != nil {
+			return nil, fmt.Errorf("failure link %q is neither worst nor a link ID", which)
+		}
+		if linkID < 0 || linkID >= net.NumLinks() || net.Links[linkID].Kind != topology.Interior {
+			return nil, fmt.Errorf("link %d is not an interior link of the base network", linkID)
+		}
+	}
+	// FromSeries reroutes the survivor (and fails if the failure
+	// partitions it), so the post-failure utilization is read off the
+	// instance's own routing rather than a redundant te.FailureImpact
+	// reroute of the same topology.
+	survivor := topology.RemoveAdjacency(net, linkID)
+	sc, err := netsim.FromSeries(net.Name+"-failure", survivor, base.Series, netsim.RoutingSPF)
+	if err != nil {
+		return nil, fmt.Errorf("failing link %d: %w", linkID, err)
+	}
+	in, err := finish(sc, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	beforeUtil, _ := te.MaxUtilization(base.Rt, truth)
+	afterUtil, _ := te.MaxUtilization(sc.Rt, truth)
+	l := net.Links[linkID]
+	in.Note = fmt.Sprintf("failed adjacency %d (%s-%s), max util %.3f -> %.3f",
+		linkID, net.Routers[l.Src].Name, net.Routers[l.Dst].Name, beforeUtil, afterUtil)
+	return in, nil
+}
+
+func quantizedNet(args []string, seed int64) (*topology.Network, traffic.Config, float64, error) {
+	arg := ""
+	if len(args) > 0 {
+		arg = args[0]
+	}
+	step := 150.0
+	if len(args) > 1 {
+		s, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || s <= 0 {
+			return nil, traffic.Config{}, 0, fmt.Errorf("metric step %q is not a positive number", args[1])
+		}
+		step = s
+	}
+	net, cfg, err := baseParts(arg, seed)
+	if err != nil {
+		return nil, traffic.Config{}, 0, err
+	}
+	return topology.QuantizeMetrics(net, step), cfg, step, nil
+}
+
+func buildECMP(args []string, seed int64) (*Instance, error) {
+	net, cfg, step, err := quantizedNet(args, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := netsim.BuildWith(net.Name+"-ecmp", net, cfg, netsim.RoutingECMP)
+	if err != nil {
+		return nil, err
+	}
+	in, err := finish(sc, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Note = fmt.Sprintf("metric step %g, %d/%d demands split", step, splitDemands(sc), net.NumPairs())
+	return in, nil
+}
+
+func buildQuantized(args []string, seed int64) (*Instance, error) {
+	net, cfg, step, err := quantizedNet(args, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := netsim.BuildWith(net.Name+"-quantized", net, cfg, netsim.RoutingSPF)
+	if err != nil {
+		return nil, err
+	}
+	in, err := finish(sc, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Note = fmt.Sprintf("metric step %g", step)
+	return in, nil
+}
+
+func buildNoisy(args []string, seed int64) (*Instance, error) {
+	arg := ""
+	if len(args) > 0 {
+		arg = args[0]
+	}
+	noise := 0.05
+	if len(args) > 1 {
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, fmt.Errorf("relative noise %q out of range [0, 1)", args[1])
+		}
+		noise = v
+	}
+	net, cfg, err := baseParts(arg, seed)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := netsim.BuildWith(net.Name+"-noisy", net, cfg, netsim.RoutingSPF)
+	if err != nil {
+		return nil, err
+	}
+	in, err := finish(sc, noise, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Note = fmt.Sprintf("relative load noise %g", noise)
+	return in, nil
+}
+
+// splitDemands counts demands whose routing row set contains a fractional
+// interior entry — demands actually split by ECMP.
+func splitDemands(sc *netsim.Scenario) int {
+	split := 0
+	for p := 0; p < sc.Net.NumPairs(); p++ {
+		for _, lid := range sc.Rt.PairPaths[p] {
+			v := sc.Rt.R.At(lid, p)
+			if v > 1e-9 && v < 1-1e-9 {
+				split++
+				break
+			}
+		}
+	}
+	return split
+}

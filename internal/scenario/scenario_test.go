@@ -1,0 +1,324 @@
+package scenario
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+func TestBuildUnknownFamily(t *testing.T) {
+	if _, err := Build("warp:9", 1); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("want unknown-family error, got %v", err)
+	}
+	if _, err := Build("scaled:nonsense", 1); err == nil {
+		t.Fatal("want error for non-numeric base")
+	}
+	if _, err := Build("scaled:2", 1); err == nil {
+		t.Fatal("want error for PoP count below 3")
+	}
+	if _, err := Build("noisy:12:1.5", 1); err == nil {
+		t.Fatal("want error for out-of-range noise")
+	}
+	if _, err := Build("ecmp:12:-1", 1); err == nil {
+		t.Fatal("want error for non-positive metric step")
+	}
+	if _, err := Build("failure:12:xyz", 1); err == nil {
+		t.Fatal("want error for bad failure link")
+	}
+}
+
+func TestFamiliesDocumented(t *testing.T) {
+	fams := Families()
+	if len(fams) < 5 {
+		t.Fatalf("want at least 5 families, got %d", len(fams))
+	}
+	for _, f := range fams {
+		if f.Name == "" || f.Usage == "" || f.Desc == "" {
+			t.Errorf("family %+v lacks documentation", f)
+		}
+		if !strings.HasPrefix(f.Usage, f.Name+":") {
+			t.Errorf("family %s usage %q does not start with its name", f.Name, f.Usage)
+		}
+	}
+}
+
+// TestScaledInstance checks the ground-truth consistency contract: the
+// instance's snapshot loads are exactly R times the busy-window mean
+// demand, and the threshold selects the demands carrying 90% of traffic.
+func TestScaledInstance(t *testing.T) {
+	in, err := Build("scaled:20", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sc.Net.NumPoPs() != 20 || in.Sc.Net.NumPairs() != 380 {
+		t.Fatalf("got %d PoPs / %d pairs", in.Sc.Net.NumPoPs(), in.Sc.Net.NumPairs())
+	}
+	if in.Spec != "scaled:20" || in.Family != "scaled" {
+		t.Fatalf("spec/family = %q/%q", in.Spec, in.Family)
+	}
+	want := in.Sc.Rt.LinkLoads(in.Truth)
+	for i, v := range in.Inst.Loads {
+		if v != want[i] {
+			t.Fatalf("snapshot load %d = %v, want %v (must be noise-free)", i, v, want[i])
+		}
+	}
+	if len(in.Loads) != in.Window {
+		t.Fatalf("got %d load samples, want %d", len(in.Loads), in.Window)
+	}
+	if in.Thresh <= 0 {
+		t.Fatalf("threshold %v", in.Thresh)
+	}
+	// Same (spec, seed) must reproduce the same instance.
+	in2, err := Build("scaled:20", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Truth {
+		if in.Truth[i] != in2.Truth[i] {
+			t.Fatal("instance not deterministic in (spec, seed)")
+		}
+	}
+}
+
+func TestScaledRegionAliases(t *testing.T) {
+	in, err := Build("scaled:europe", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sc.Net.NumPoPs() != 12 {
+		t.Fatalf("europe alias built %d PoPs", in.Sc.Net.NumPoPs())
+	}
+	in, err = Build("scaled:america", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sc.Net.NumPoPs() != 25 {
+		t.Fatalf("america alias built %d PoPs", in.Sc.Net.NumPoPs())
+	}
+}
+
+// TestFailureInstance checks that the failure family removes exactly one
+// adjacency, keeps the demand ground truth of the base scenario, and
+// reroutes consistently.
+func TestFailureInstance(t *testing.T) {
+	base, err := Build("scaled:12", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit link: fail interior adjacency 0.
+	in, err := Build("failure:12:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.Sc.Net.InteriorLinks(), base.Sc.Net.InteriorLinks()-2; got != want {
+		t.Fatalf("survivor has %d interior links, want %d", got, want)
+	}
+	// Ground truth unchanged: same demand series, same busy window.
+	for i := range in.Truth {
+		if in.Truth[i] != base.Truth[i] {
+			t.Fatal("failure family must keep the base demand ground truth")
+		}
+	}
+	// Loads consistent on the rerouted topology.
+	want := in.Sc.Rt.LinkLoads(in.Truth)
+	for i, v := range in.Inst.Loads {
+		if v != want[i] {
+			t.Fatalf("rerouted load %d inconsistent", i)
+		}
+	}
+	if !strings.Contains(in.Note, "failed adjacency") {
+		t.Fatalf("note %q", in.Note)
+	}
+
+	// Worst-case selection must also work and name a valid link.
+	worst, err := Build("failure:12:worst", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Sc.Net.InteriorLinks() != base.Sc.Net.InteriorLinks()-2 {
+		t.Fatal("worst-case failure did not remove exactly one adjacency")
+	}
+	// Failing an access link must be rejected.
+	ingress := -1
+	for _, l := range base.Sc.Net.Links {
+		if l.Kind == topology.Ingress {
+			ingress = l.ID
+			break
+		}
+	}
+	if _, err := Build("failure:12:"+strconv.Itoa(ingress), 2); err == nil {
+		t.Fatal("want error when failing an access link")
+	}
+}
+
+// TestECMPInstance checks that the ecmp family actually splits demands
+// (fractional routing entries) and that its loads use the fractional
+// matrix.
+func TestECMPInstance(t *testing.T) {
+	in, err := Build("ecmp:12:150", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sc.Model != netsim.RoutingECMP {
+		t.Fatalf("model %q", in.Sc.Model)
+	}
+	if n := splitDemands(in.Sc); n == 0 {
+		t.Fatal("quantized 12-PoP network splits no demands — ECMP family is vacuous")
+	}
+	if !strings.Contains(in.Note, "demands split") {
+		t.Fatalf("note %q", in.Note)
+	}
+	// The quantized single-path variant shares the topology but not the
+	// routing model.
+	q, err := Build("quantized:12:150", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sc.Model != netsim.RoutingSPF {
+		t.Fatalf("quantized model %q", q.Sc.Model)
+	}
+	if n := splitDemands(q.Sc); n != 0 {
+		t.Fatalf("single-path routing reports %d split demands", n)
+	}
+}
+
+// TestNoisyInstance checks that noise perturbs the measured loads but
+// never the ground truth, and that noise level 0 reproduces the clean
+// instance.
+func TestNoisyInstance(t *testing.T) {
+	clean, err := Build("scaled:12", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Build("noisy:12:0.05", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Truth {
+		if clean.Truth[i] != noisy.Truth[i] {
+			t.Fatal("noise must not touch the ground truth")
+		}
+	}
+	diff := 0
+	for i := range clean.Inst.Loads {
+		if clean.Inst.Loads[i] != noisy.Inst.Loads[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("noisy instance has clean snapshot loads")
+	}
+	zero, err := Build("noisy:12:0", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Inst.Loads {
+		if clean.Inst.Loads[i] != zero.Inst.Loads[i] {
+			t.Fatal("noisy:...:0 must equal the clean instance")
+		}
+	}
+}
+
+// TestEvaluate runs the full method set over two small instances and
+// checks the result grid: order, scoring sanity, runtime accounting.
+func TestEvaluate(t *testing.T) {
+	a, err := Build("scaled:8", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("ecmp:8:150", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []*Instance{a, b}
+	methods := Methods(DefaultBudget())
+	results, err := Evaluate(context.Background(), runner.NewPool(0), instances, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(instances)*len(methods) {
+		t.Fatalf("got %d results, want %d", len(results), len(instances)*len(methods))
+	}
+	i := 0
+	for _, in := range instances {
+		for _, m := range methods {
+			r := results[i]
+			i++
+			if r.Spec != in.Spec || r.Method != m.Name {
+				t.Fatalf("result %d is %s/%s, want %s/%s", i-1, r.Spec, r.Method, in.Spec, m.Name)
+			}
+			if r.Err != nil {
+				t.Fatalf("%s/%s failed: %v", r.Spec, r.Method, r.Err)
+			}
+			if r.MRE < 0 || r.RelL1 < 0 || r.RelL2 < 0 {
+				t.Fatalf("%s/%s negative error metric: %+v", r.Spec, r.Method, r)
+			}
+			if r.RelL1 > 2.5 || r.RelL2 > 10 {
+				t.Fatalf("%s/%s implausible error: %+v", r.Spec, r.Method, r)
+			}
+			if r.Runtime < 0 {
+				t.Fatalf("%s/%s negative runtime", r.Spec, r.Method)
+			}
+		}
+	}
+	// The entropy estimate must beat (or at least match) its gravity
+	// prior in relative L2 on a clean consistent instance: it folds in
+	// the interior link observations gravity ignores.
+	var grav, ent Result
+	for _, r := range results {
+		if r.Spec == a.Spec && r.Method == "gravity" {
+			grav = r
+		}
+		if r.Spec == a.Spec && r.Method == "entropy" {
+			ent = r
+		}
+	}
+	if ent.RelL2 > grav.RelL2+1e-9 {
+		t.Fatalf("entropy relL2 %.4f worse than gravity prior %.4f", ent.RelL2, grav.RelL2)
+	}
+}
+
+// TestRelErrors pins the metric definitions.
+func TestRelErrors(t *testing.T) {
+	est := []float64{1, 2, 3}
+	truth := []float64{2, 2, 2}
+	if got, want := RelL1(est, truth), 2.0/6.0; abs(got-want) > 1e-15 {
+		t.Fatalf("RelL1 = %v, want %v", got, want)
+	}
+	if got, want := RelL2(est, truth), 0.40824829046386301637; abs(got-want) > 1e-12 {
+		t.Fatalf("RelL2 = %v, want %v", got, want)
+	}
+	if RelL1(truth, truth) != 0 || RelL2(truth, truth) != 0 {
+		t.Fatal("self-error must be zero")
+	}
+	zero := []float64{0, 0, 0}
+	if RelL1(est, zero) != 0 || RelL2(est, zero) != 0 {
+		t.Fatal("zero truth must yield zero relative error")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestGravityOnInstance ties the harness to core: gravity on a consistent
+// instance reproduces the measured total traffic.
+func TestGravityOnInstance(t *testing.T) {
+	in, err := Build("scaled:10", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.Gravity(in.Inst)
+	if got, want := g.Sum(), in.Inst.TotalTraffic(); abs(got-want) > 1e-6*want {
+		t.Fatalf("gravity total %v, measured total %v", got, want)
+	}
+}

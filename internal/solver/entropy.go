@@ -92,17 +92,33 @@ func klProx(z, p, eta float64) float64 {
 		return z
 	}
 	// Bracket: g(u) = u + eta·log(u/p) − z is -Inf at 0+, +Inf at +Inf.
+	lo, hi := 0.0, math.Max(z, p)+eta+1
 	u := z
-	if u <= 0 {
-		u = p * math.Exp(z/eta)
-		if u <= 0 {
-			u = 1e-300
+	if z <= 0 {
+		// For z <= 0 the optimality condition u = p·exp((z−u)/eta)
+		// bounds the solution by ub = p·exp(z/eta), and g(ub) = ub > 0,
+		// so [0, ub] brackets the root tightly. When ub underflows the
+		// solution is zero at double precision — the common case for
+		// the many near-zero demands of a heavy-tailed matrix, whose
+		// gradient step drives z far below zero. Starting inside the
+		// tight bracket (rather than at 1e-300, where g' = 1 + eta/u
+		// explodes and every Newton step stalls into bisection over
+		// [0, p]) keeps the per-coordinate cost at a few iterations;
+		// without it, large backbones spend their entire entropy solve
+		// bisecting dead coordinates.
+		ub := p * math.Exp(z/eta)
+		if ub < 1e-300 {
+			return 0
 		}
-		if u > p {
-			u = p
+		if ub < hi {
+			hi = ub
+		}
+		// First Newton step from ub in closed form: ub − ub/(1+eta/ub).
+		u = ub * (eta / (ub + eta))
+		if u <= 0 {
+			u = ub / 2
 		}
 	}
-	lo, hi := 0.0, math.Max(z, p)+eta+1
 	for iter := 0; iter < 60; iter++ {
 		g := u + eta*math.Log(u/p) - z
 		if math.Abs(g) <= 1e-12*(1+math.Abs(z)) {

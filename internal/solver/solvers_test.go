@@ -307,6 +307,40 @@ func TestKLProxProperties(t *testing.T) {
 	}
 }
 
+func TestKLProxNonpositiveInput(t *testing.T) {
+	// The z <= 0 regime is the hot path on heavy-tailed instances (most
+	// demands are near zero, so the gradient step drives z negative).
+	// The tight bracket [0, p·exp(z/eta)] must still satisfy optimality…
+	for _, tc := range []struct{ z, p, eta float64 }{
+		{0, 1000, 1e-6},
+		{-1e-3, 3, 0.2},
+		{-0.5, 3, 0.2},
+		{-5, 0.01, 2},
+	} {
+		u := klProx(tc.z, tc.p, tc.eta)
+		if u <= 0 {
+			t.Fatalf("z=%v p=%v eta=%v: prox %v not positive", tc.z, tc.p, tc.eta, u)
+		}
+		g := u + tc.eta*math.Log(u/tc.p) - tc.z
+		if math.Abs(g) > 1e-6*(1+math.Abs(tc.z)) {
+			t.Fatalf("z=%v p=%v eta=%v: optimality residual %v (u=%v)", tc.z, tc.p, tc.eta, g, u)
+		}
+	}
+	// …and when the upper bound p·exp(z/eta) underflows, the solution is
+	// exactly zero at double precision (previously these coordinates each
+	// burned the full 60-iteration bisection budget). With eta = 1e-6 a z
+	// of just −0.001 already puts the optimum at ~p·e^(−1000) ≈ 10^−431.
+	for _, tc := range []struct{ z, p, eta float64 }{
+		{-1e-3, 1000, 1e-6},
+		{-1, 1000, 1e-6},
+		{-800, 1, 1},
+	} {
+		if u := klProx(tc.z, tc.p, tc.eta); u != 0 {
+			t.Fatalf("z=%v p=%v eta=%v: underflow prox = %v, want 0", tc.z, tc.p, tc.eta, u)
+		}
+	}
+}
+
 func TestGeneralizedKL(t *testing.T) {
 	x := linalg.Vector{1, 2}
 	if d := GeneralizedKL(x, x); math.Abs(d) > 1e-12 {

@@ -48,6 +48,21 @@ func NewBuilder(rows, cols int) *Builder {
 	return &Builder{rows: rows, cols: cols}
 }
 
+// Grow preallocates capacity for n additional entries, so large assemblies
+// (the second-moment systems of the Vardi and Cao estimators reach
+// hundreds of thousands of entries on 100-PoP backbones) append without
+// repeated reallocation.
+func (b *Builder) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(b.entries) - len(b.entries); free < n {
+		grown := make([]triplet, len(b.entries), len(b.entries)+n)
+		copy(grown, b.entries)
+		b.entries = grown
+	}
+}
+
 // Add accumulates v at position (r, c). Zero values are dropped.
 func (b *Builder) Add(r, c int, v float64) {
 	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {

@@ -41,6 +41,32 @@ func TestBuilderAndAt(t *testing.T) {
 	}
 }
 
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Grow(100)
+	if cap(b.entries) < 100 {
+		t.Fatalf("Grow(100) left capacity %d", cap(b.entries))
+	}
+	b.Add(0, 0, 1)
+	b.Add(2, 1, 2)
+	b.Grow(-5) // no-op
+	b.Grow(1)  // already have room: no reallocation needed
+	b.Add(1, 2, 3)
+	m := b.Build()
+	if m.NNZ() != 3 || m.At(0, 0) != 1 || m.At(2, 1) != 2 || m.At(1, 2) != 3 {
+		t.Fatalf("entries lost across Grow: nnz=%d", m.NNZ())
+	}
+	// Grow after entries exist must preserve them when reallocating.
+	b2 := NewBuilder(2, 2)
+	b2.Add(0, 0, 7)
+	b2.Grow(50)
+	b2.Add(1, 1, 8)
+	m2 := b2.Build()
+	if m2.At(0, 0) != 7 || m2.At(1, 1) != 8 {
+		t.Fatal("Grow reallocation dropped entries")
+	}
+}
+
 func TestBuilderBoundsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

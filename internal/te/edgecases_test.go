@@ -1,0 +1,193 @@
+package te
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/topology"
+)
+
+// handNet assembles a network from explicit parts: one router per PoP,
+// bidirectional interior adjacencies with the given metric, and one
+// ingress/egress access link per PoP — the shapes the seeded generator
+// cannot produce (bridges, 2-PoP networks, exact metric ties).
+func handNet(t *testing.T, popNames []string, adjacencies [][2]int, metric float64) *topology.Network {
+	t.Helper()
+	var pops []topology.PoP
+	var routers []topology.Router
+	for i, name := range popNames {
+		pops = append(pops, topology.PoP{ID: i, Name: name, Routers: []int{i}})
+		routers = append(routers, topology.Router{ID: i, PoP: i, Name: name + "-cr1"})
+	}
+	var links []topology.Link
+	for _, adj := range adjacencies {
+		for _, pair := range [2][2]int{adj, {adj[1], adj[0]}} {
+			links = append(links, topology.Link{
+				ID: len(links), Kind: topology.Interior,
+				Src: pair[0], Dst: pair[1],
+				CapacityMbps: 1000, Metric: metric,
+			})
+		}
+	}
+	for i := range pops {
+		links = append(links, topology.Link{
+			ID: len(links), Kind: topology.Ingress, Src: i, Dst: i,
+			CapacityMbps: 2000,
+		})
+		links = append(links, topology.Link{
+			ID: len(links), Kind: topology.Egress, Src: i, Dst: i,
+			CapacityMbps: 2000,
+		})
+	}
+	net, err := topology.FromParts("hand", pops, routers, links)
+	if err != nil {
+		t.Fatalf("FromParts: %v", err)
+	}
+	return net
+}
+
+// uniformDemands returns a demand vector with every ordered pair at v.
+func uniformDemands(net *topology.Network, v float64) linalg.Vector {
+	s := linalg.NewVector(net.NumPairs())
+	s.Fill(v)
+	return s
+}
+
+// TestFailureImpactBridgeLink: failing a bridge adjacency partitions the
+// network; FailureImpact must surface the rerouting error instead of a
+// utilization.
+func TestFailureImpactBridgeLink(t *testing.T) {
+	// Barbell: triangle {0,1,2} — bridge 2–3 — triangle {3,4,5}.
+	net := handNet(t, []string{"A", "B", "C", "D", "E", "F"},
+		[][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}}, 10)
+	s := uniformDemands(net, 5)
+
+	// Sanity: the intact network routes and the bridge carries all
+	// cross-side traffic.
+	rt, err := net.Route()
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	var bridgeID = -1
+	for _, l := range net.Links {
+		if l.Kind == topology.Interior && l.Src == 2 && l.Dst == 3 {
+			bridgeID = l.ID
+		}
+	}
+	if bridgeID < 0 {
+		t.Fatal("no bridge link found")
+	}
+	loads := rt.LinkLoads(s)
+	if want := 9 * 5.0; loads[bridgeID] != want { // 3 sources x 3 dests across the bridge
+		t.Fatalf("bridge load %v, want %v", loads[bridgeID], want)
+	}
+
+	// Failing a triangle edge reroutes fine.
+	var triangleID = -1
+	for _, l := range net.Links {
+		if l.Kind == topology.Interior && l.Src == 0 && l.Dst == 1 {
+			triangleID = l.ID
+		}
+	}
+	if _, err := FailureImpact(net, s, triangleID); err != nil {
+		t.Fatalf("triangle-edge failure should reroute, got %v", err)
+	}
+
+	// Failing the bridge partitions: error, not a number.
+	if _, err := FailureImpact(net, s, bridgeID); err == nil {
+		t.Fatal("bridge failure must return a disconnection error")
+	} else if !strings.Contains(err.Error(), "rerouting") {
+		t.Fatalf("error %q does not mention rerouting", err)
+	}
+
+	// Failing an access link is rejected up front.
+	var accessID = -1
+	for _, l := range net.Links {
+		if l.Kind == topology.Ingress {
+			accessID = l.ID
+			break
+		}
+	}
+	if _, err := FailureImpact(net, s, accessID); err == nil || !strings.Contains(err.Error(), "not interior") {
+		t.Fatalf("access-link failure must be rejected, got %v", err)
+	}
+
+	// WorstCaseFailure sweeps all adjacencies including the bridge, so on
+	// this network it must propagate the disconnection error.
+	if link, _, err := WorstCaseFailure(net, s); err == nil {
+		t.Fatalf("WorstCaseFailure on a bridged network returned link %d, want error", link)
+	}
+}
+
+// TestTopLinksTiedUtilizations: on a fully symmetric network every
+// interior link carries identical load; TopLinks must break ties
+// deterministically (ascending link ID, from the stable sort) and respect
+// every k, including k beyond the link count.
+func TestTopLinksTiedUtilizations(t *testing.T) {
+	// Triangle with equal metrics and uniform demands: all six directed
+	// interior links carry exactly one demand each.
+	net := handNet(t, []string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 10)
+	rt, err := net.Route()
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	s := uniformDemands(net, 7)
+	u := Utilizations(rt, s)
+	var interior []int
+	for _, l := range net.Links {
+		if l.Kind == topology.Interior {
+			interior = append(interior, l.ID)
+			if u[l.ID] != u[interior[0]] {
+				t.Fatalf("asymmetric utilization: link %d %v vs link %d %v",
+					l.ID, u[l.ID], interior[0], u[interior[0]])
+			}
+		}
+	}
+	got := TopLinks(rt, s, len(interior))
+	for i, id := range got {
+		if id != interior[i] {
+			t.Fatalf("tied TopLinks order %v, want ascending IDs %v", got, interior)
+		}
+	}
+	// k larger than the interior set: clamped, not padded.
+	if all := TopLinks(rt, s, 100); len(all) != len(interior) {
+		t.Fatalf("TopLinks(k=100) returned %d links, want %d", len(all), len(interior))
+	}
+	if none := TopLinks(rt, s, 0); len(none) != 0 {
+		t.Fatalf("TopLinks(k=0) returned %v", none)
+	}
+	// MaxUtilization must agree with the tied top link.
+	max, at := MaxUtilization(rt, s)
+	if max != u[got[0]] {
+		t.Fatalf("MaxUtilization %v, want %v", max, u[got[0]])
+	}
+	if at < 0 || net.Links[at].Kind != topology.Interior {
+		t.Fatalf("MaxUtilization link %d not interior", at)
+	}
+}
+
+// TestWorstCaseFailureTwoPoPs: a 2-PoP network has exactly one adjacency;
+// failing it disconnects the pair, so the sweep must report the error
+// path rather than inventing a survivor.
+func TestWorstCaseFailureTwoPoPs(t *testing.T) {
+	net := handNet(t, []string{"A", "B"}, [][2]int{{0, 1}}, 10)
+	rt, err := net.Route()
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	s := uniformDemands(net, 100)
+	// Both demands cross the single adjacency: utilization 100/1000 each
+	// direction.
+	max, _ := MaxUtilization(rt, s)
+	if max != 0.1 {
+		t.Fatalf("max utilization %v, want 0.1", max)
+	}
+	link, util, err := WorstCaseFailure(net, s)
+	if err == nil {
+		t.Fatalf("WorstCaseFailure on 2 PoPs returned link %d util %v, want error", link, util)
+	}
+	if link != -1 {
+		t.Fatalf("error path must return link -1, got %d", link)
+	}
+}

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -23,27 +24,26 @@ import (
 // O(E) by a topological sweep.
 func (n *Network) RouteECMP() (*Routing, error) {
 	p := n.NumPairs()
+	np := n.NumPoPs()
 	rt := &Routing{Net: n, PairPaths: make([][]int, p)}
-	b := sparse.NewBuilder(n.NumLinks(), p)
-	// Group demands by source head-end so each Dijkstra run serves N-1
-	// demands.
-	bySrc := map[int][]int{}
-	for pair := 0; pair < p; pair++ {
-		src, _ := n.PairFromIndex(pair)
-		bySrc[n.HeadEnd(src)] = append(bySrc[n.HeadEnd(src)], pair)
-	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	for _, srcRouter := range srcs {
+	// One shortest-path DAG per source PoP serves its N−1 demands; sources
+	// are independent, so the per-source work fans out over the shared
+	// routing pool. Each source appends its fractional entries to its own
+	// slot and the slots are merged in source order afterwards, which
+	// keeps the assembled matrix identical to a serial construction (no
+	// two sources ever touch the same matrix column).
+	perSrc := make([][]ecmpEntry, np)
+	err := routePool.ForEach(context.Background(), np, func(srcPoP int) error {
+		srcRouter := n.HeadEnd(srcPoP)
 		dist, dagIn := n.shortestPathDAG(srcRouter)
-		for _, pair := range bySrc[srcRouter] {
-			_, dstPoP := n.PairFromIndex(pair)
+		for dstPoP := 0; dstPoP < np; dstPoP++ {
+			if dstPoP == srcPoP {
+				continue
+			}
+			pair := n.PairIndex(srcPoP, dstPoP)
 			dstRouter := n.HeadEnd(dstPoP)
 			if math.IsInf(dist[dstRouter], 1) {
-				return nil, &unreachableError{src: srcRouter, dst: dstRouter}
+				return &unreachableError{src: srcRouter, dst: dstRouter}
 			}
 			// Restrict the shortest-path DAG to the ancestors of dst
 			// (routers that lie on some shortest path to it).
@@ -91,12 +91,22 @@ func (n *Network) RouteECMP() (*Routing, error) {
 				// Deterministic output order.
 				sort.Ints(outs)
 				for _, lid := range outs {
-					b.Add(lid, pair, share)
+					perSrc[srcPoP] = append(perSrc[srcPoP], ecmpEntry{row: lid, col: pair, v: share})
 					pathLinks = append(pathLinks, lid)
 					frac[n.Links[lid].Dst] += share
 				}
 			}
 			rt.PairPaths[pair] = pathLinks
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := sparse.NewBuilder(n.NumLinks(), p)
+	for _, entries := range perSrc {
+		for _, e := range entries {
+			b.Add(e.row, e.col, e.v)
 		}
 	}
 	// Access rows are unchanged: every demand fully enters and exits once.
@@ -117,7 +127,15 @@ func (n *Network) RouteECMP() (*Routing, error) {
 		}
 	}
 	rt.R = b.Build()
+	rt.indexAccessRows()
 	return rt, nil
+}
+
+// ecmpEntry is one fractional routing-matrix entry produced by a source's
+// forward sweep.
+type ecmpEntry struct {
+	row, col int
+	v        float64
 }
 
 type unreachableError struct{ src, dst int }

@@ -70,6 +70,45 @@ func America(seed int64) *Network {
 	return n
 }
 
+// ScaledNames returns n deterministic PoP names for generated backbones:
+// the 37 real city names of the paper's two subnetworks first, then
+// synthetic "PoP038"-style names. Used by the scaled scenario family to
+// grow backbones past the paper's 25-PoP ceiling.
+func ScaledNames(n int) []string {
+	names := make([]string, 0, n)
+	names = append(names, europePoPs...)
+	names = append(names, americaPoPs...)
+	if n <= len(names) {
+		return names[:n]
+	}
+	for i := len(names); i < n; i++ {
+		names = append(names, fmt.Sprintf("PoP%03d", i+1))
+	}
+	return names
+}
+
+// Scaled generates an n-PoP backbone with the same construction as the
+// paper's two subnetworks (ring + skewed chords, Euclidean metrics, one
+// ingress and one egress access link per PoP) at an adjacency density of
+// about three adjacencies per PoP — sparse enough that the estimation
+// problem stays as underdetermined as on the real networks (P = n(n−1)
+// demands against ~8n link observations). It is the base topology of the
+// scenario lab's scaled(n) family.
+func Scaled(seed int64, n int) (*Network, error) {
+	edges := 3 * n
+	if max := n * (n - 1) / 2; edges > max {
+		edges = max
+	}
+	return Generate(GeneratorConfig{
+		Name:            fmt.Sprintf("scaled-%d", n),
+		PoPNames:        ScaledNames(n),
+		UndirectedEdges: edges,
+		Seed:            seed,
+		CapacityMbps:    10000,
+		AccessCapacity:  40000,
+	})
+}
+
 // Generate builds a connected backbone with one core router per PoP. PoPs
 // are embedded at seeded random positions in a plane and link metrics are
 // the Euclidean distances — exactly how IGP metrics track fiber distance in

@@ -2,13 +2,26 @@ package topology
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/runner"
 	"repro/internal/sparse"
 )
+
+// routePool bounds the concurrency of parallel routing construction across
+// the whole process. Route and RouteECMP fan their per-source work out on
+// it; because runner.Pool.ForEach always works on the calling goroutine,
+// nesting routing construction inside jobs already running on other pools
+// (experiment drivers, failure sweeps) cannot deadlock. The floor of 4
+// keeps the concurrent construction paths exercised (and race-checked)
+// even on single-core machines, where GOMAXPROCS alone would degenerate
+// them to purely serial loops.
+var routePool = runner.NewPool(max(4, runtime.GOMAXPROCS(0)))
 
 // Routing holds the single-path routes of every ordered PoP pair and the
 // resulting routing matrix R (equation (1) of the paper): R[l][p] = 1 iff
@@ -20,6 +33,12 @@ type Routing struct {
 	Net       *Network
 	PairPaths [][]int // demand p -> interior link IDs along its path
 	R         *sparse.Matrix
+
+	// ingressRows/egressRows cache the access-link row of each PoP.
+	// IngressRow is on the hot path of the fanout estimator (one lookup
+	// per demand per interval), where a linear scan over the links would
+	// dominate at 100+ PoPs.
+	ingressRows, egressRows []int
 }
 
 // dijkstraItem is a priority-queue entry.
@@ -107,12 +126,95 @@ func (n *Network) ShortestPath(src, dst int, usable func(*Link) bool) ([]int, er
 	return path, nil
 }
 
+// shortestPathTree runs Dijkstra from src over all interior links and
+// returns the distance array plus the predecessor link of every router —
+// the full shortest-path tree. It performs exactly the same strict-
+// improvement relaxations in the same order as ShortestPath(src, ·, nil),
+// so the path extracted from the tree for any destination is identical to
+// the one ShortestPath would return: every router on a shortest path to
+// dst settles strictly before dst (interior metrics are strictly
+// positive), at which point both computations have executed the same
+// operation sequence.
+func (n *Network) shortestPathTree(src int) (dist []float64, prevLink []int) {
+	const eps = 1e-12
+	dist = make([]float64, len(n.Routers))
+	prevLink = make([]int, len(n.Routers))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{}
+	heap.Init(pq)
+	heap.Push(pq, &dijkstraItem{router: src, dist: 0})
+	done := make([]bool, len(n.Routers))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*dijkstraItem)
+		u := it.router
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, lid := range n.outLinks[u] {
+			l := &n.Links[lid]
+			v := l.Dst
+			nd := dist[u] + l.Metric
+			if nd < dist[v]-eps {
+				dist[v] = nd
+				prevLink[v] = lid
+				heap.Push(pq, &dijkstraItem{router: v, dist: nd})
+			}
+		}
+	}
+	return dist, prevLink
+}
+
 // Route computes shortest-path routes for every ordered PoP pair between
 // head-end routers and assembles the routing matrix. It is the plain
 // (capacity-oblivious) routing used when LSP reservations are far below
 // capacity.
+//
+// Construction runs one Dijkstra per source PoP (serving its N−1 demands
+// from the shortest-path tree) instead of one per ordered pair, and the
+// per-source work fans out over a process-wide pool — the difference
+// between O(N²) and O(N) Dijkstra runs is what keeps 150-PoP backbones
+// routable in milliseconds. The resulting paths are identical to the
+// per-pair computation (see shortestPathTree).
 func (n *Network) Route() (*Routing, error) {
-	return n.routeWith(nil, nil)
+	np := n.NumPoPs()
+	rt := &Routing{Net: n, PairPaths: make([][]int, n.NumPairs())}
+	err := routePool.ForEach(context.Background(), np, func(src int) error {
+		head := n.HeadEnd(src)
+		dist, prev := n.shortestPathTree(head)
+		for dst := 0; dst < np; dst++ {
+			if dst == src {
+				continue
+			}
+			target := n.HeadEnd(dst)
+			pair := n.PairIndex(src, dst)
+			if math.IsInf(dist[target], 1) {
+				return fmt.Errorf("topology: pair %d (%s→%s): router %d unreachable from %d",
+					pair, n.PoPs[src].Name, n.PoPs[dst].Name, target, head)
+			}
+			var path []int
+			for v := target; v != head; {
+				lid := prev[v]
+				path = append(path, lid)
+				v = n.Links[lid].Src
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			rt.PairPaths[pair] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.R = rt.buildMatrix()
+	rt.indexAccessRows()
+	return rt, nil
 }
 
 // RouteCSPF emulates constraint-based shortest-path routing the way the
@@ -178,7 +280,27 @@ func (n *Network) routeWith(order []int, constrain func(p int) (func(*Link) bool
 		rt.PairPaths[pair] = path
 	}
 	rt.R = rt.buildMatrix()
+	rt.indexAccessRows()
 	return rt, nil
+}
+
+// indexAccessRows fills the per-PoP access-link row caches.
+func (rt *Routing) indexAccessRows() {
+	n := rt.Net
+	rt.ingressRows = make([]int, len(n.PoPs))
+	rt.egressRows = make([]int, len(n.PoPs))
+	for i := range rt.ingressRows {
+		rt.ingressRows[i] = -1
+		rt.egressRows[i] = -1
+	}
+	for _, l := range n.Links {
+		switch l.Kind {
+		case Ingress:
+			rt.ingressRows[l.Src] = l.ID
+		case Egress:
+			rt.egressRows[l.Dst] = l.ID
+		}
+	}
 }
 
 // buildMatrix assembles R from the per-pair paths plus the access rows.
@@ -212,20 +334,37 @@ func (rt *Routing) buildMatrix() *sparse.Matrix {
 }
 
 // IngressRow returns the row index of PoP n's ingress access link in R.
+// Routings built by Route/RouteECMP/RouteCSPF answer from the cached
+// index; a hand-assembled Routing (tests) falls back to a link scan —
+// deliberately without populating the cache, since a lazy write would
+// race between the concurrent estimator calls an Instance permits.
 func (rt *Routing) IngressRow(pop int) int {
-	for _, l := range rt.Net.Links {
-		if l.Kind == Ingress && l.Src == pop {
-			return l.ID
+	if rt.ingressRows != nil {
+		if r := rt.ingressRows[pop]; r >= 0 {
+			return r
+		}
+	} else {
+		for _, l := range rt.Net.Links {
+			if l.Kind == Ingress && l.Src == pop {
+				return l.ID
+			}
 		}
 	}
 	panic(fmt.Sprintf("topology: PoP %d has no ingress link", pop))
 }
 
 // EgressRow returns the row index of PoP m's egress access link in R.
+// Same caching contract as IngressRow.
 func (rt *Routing) EgressRow(pop int) int {
-	for _, l := range rt.Net.Links {
-		if l.Kind == Egress && l.Dst == pop {
-			return l.ID
+	if rt.egressRows != nil {
+		if r := rt.egressRows[pop]; r >= 0 {
+			return r
+		}
+	} else {
+		for _, l := range rt.Net.Links {
+			if l.Kind == Egress && l.Dst == pop {
+				return l.ID
+			}
 		}
 	}
 	panic(fmt.Sprintf("topology: PoP %d has no egress link", pop))

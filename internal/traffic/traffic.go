@@ -90,6 +90,25 @@ func America(seed int64) Config {
 	}
 }
 
+// Scaled returns a generator configuration for an n-PoP backbone, the
+// demand side of the scenario lab's scaled(n) family. It keeps the
+// paper-calibrated statistical shape (diurnal cycle, heavy-tailed spatial
+// concentration, stable fanouts, mean–variance law with the American
+// exponent) while growing total traffic linearly with the PoP count —
+// 1200 Mbps of peak traffic per PoP, matching the America calibration at
+// n = 25 — so per-PoP and per-demand magnitudes stay in the regime the
+// estimators were tuned for at any scale.
+func Scaled(seed int64, n int) Config {
+	return Config{
+		Seed: seed, NumPoPs: n, Samples: 288, StepMinutes: 5,
+		PeakMinute: 18 * 60, OffPeakLevel: 0.3, PeakSharpness: 1.6,
+		TotalPeakMbps: 1200 * float64(n), PoPSkew: 1.2,
+		DominantPerPoP: 2, DominantStrength: 5.0,
+		Phi: 0.01, C: 1.5, SourceNoise: 0.15,
+		FanoutDrift: 0.04, NodeWobble: 0.05, PairSpread: 0.8,
+	}
+}
+
 // Series is a generated demand time series: Demands[k][p] is the 5-minute
 // average rate (Mbps) of PoP pair p during interval k.
 type Series struct {
