@@ -52,8 +52,8 @@ bench-baseline:
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild' -benchtime 1x -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve' -benchtime 1x -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag

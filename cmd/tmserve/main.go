@@ -9,6 +9,24 @@
 // fanout) on a dedicated latest-wins worker, so a slow solve never
 // delays ingestion.
 //
+// Re-solves are warm-started from the previously published estimate
+// (several times fewer solver iterations on slowly drifting demand —
+// the resolve_iterations / resolve_warm fields of /snapshot and
+// /metrics show it), and the cadence is optionally adaptive:
+// -drift-threshold re-solves immediately when the window mean moves
+// past the threshold, -resolve-max-every lets the cadence back off
+// while the window is steady.
+//
+// With -checkpoint the daemon is crash-safe: engine state (window ring,
+// cursor, latest snapshot, metric history) is restored from the file on
+// boot — so a restarted daemon serves its last snapshot immediately
+// instead of going dark while the collector refills — and persisted
+// atomically on every publication and at shutdown. Interval indices
+// identify the stream across restarts: a restarted simulated source
+// renumbers from 0, so the intervals it re-feeds below the restored
+// cursor are deduplicated (an idempotent restart, not a double count)
+// and consumption resumes once it catches back up to the cursor.
+//
 // Endpoints:
 //
 //	GET /healthz   liveness plus the latest snapshot version
@@ -24,6 +42,7 @@
 //	tmserve -region europe -cycles 24 -window 6 -resolve-every 3
 //	tmserve -scenario europe.json -mode replay -pace 200ms
 //	tmserve -mode live -pollers 3 -drop 0.02 -speed 0.1
+//	tmserve -checkpoint tm.ckpt -drift-threshold 0.1 -resolve-max-every 12
 package main
 
 import (
@@ -55,12 +74,15 @@ type config struct {
 	mode     string
 	cycles   int
 
-	window       int
-	minCoverage  float64
-	resolveEvery int
-	method       string
-	reg          float64
-	sigmaInv2    float64
+	window          int
+	minCoverage     float64
+	resolveEvery    int
+	resolveMaxEvery int
+	driftThreshold  float64
+	method          string
+	reg             float64
+	sigmaInv2       float64
+	checkpoint      string
 
 	pace    time.Duration // replay
 	pollers int           // live
@@ -83,6 +105,9 @@ func main() {
 	flag.IntVar(&cfg.window, "window", 6, "sliding estimation window in intervals; 0 = expanding")
 	flag.Float64Var(&cfg.minCoverage, "min-coverage", 0.9, "LSP coverage fraction required before a closed interval is used")
 	flag.IntVar(&cfg.resolveEvery, "resolve-every", 3, "full re-solve every N intervals; 0 = incremental gravity only")
+	flag.IntVar(&cfg.resolveMaxEvery, "resolve-max-every", 0, "adaptive cadence cap: steady windows back the cadence off up to this (needs -drift-threshold; 0 = fixed cadence)")
+	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "window drift (relative L1 between consecutive window means) that triggers an immediate re-solve; 0 = fixed cadence")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file: restore engine state on boot, persist it on every publication and at shutdown")
 	flag.StringVar(&cfg.method, "method", "entropy", "full re-solve estimator: entropy | bayes | vardi | fanout")
 	flag.Float64Var(&cfg.reg, "reg", 1000, "regularization parameter for entropy/bayes re-solves")
 	flag.Float64Var(&cfg.sigmaInv2, "sigma", 0.01, "sigma^-2 for vardi re-solves")
@@ -110,12 +135,14 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		return err
 	}
 	engine, err := stream.New(sc.Rt, stream.Config{
-		Window:       cfg.window,
-		MinCoverage:  cfg.minCoverage,
-		ResolveEvery: cfg.resolveEvery,
-		Method:       stream.Method(cfg.method),
-		Reg:          cfg.reg,
-		SigmaInv2:    cfg.sigmaInv2,
+		Window:          cfg.window,
+		MinCoverage:     cfg.minCoverage,
+		ResolveEvery:    cfg.resolveEvery,
+		ResolveMaxEvery: cfg.resolveMaxEvery,
+		DriftThreshold:  cfg.driftThreshold,
+		Method:          stream.Method(cfg.method),
+		Reg:             cfg.reg,
+		SigmaInv2:       cfg.sigmaInv2,
 		// The daemon's engine is the store's only consumer, so consumed
 		// intervals can be discarded — this is what keeps -cycles 0
 		// (run forever) at bounded memory.
@@ -123,6 +150,25 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.checkpoint != "" {
+		switch cp, err := stream.LoadCheckpoint(cfg.checkpoint); {
+		case err == nil:
+			if err := engine.Restore(cp); err != nil {
+				return fmt.Errorf("restore %s: %w", cfg.checkpoint, err)
+			}
+			if snap, ok := engine.Latest(); ok {
+				fmt.Fprintf(out, "tmserve: restored checkpoint %s (version %d, interval %d) — serving it now\n",
+					cfg.checkpoint, snap.Version, snap.Interval)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start; the persist loop will create the file.
+		default:
+			// A checkpoint that exists but cannot be read is an operator
+			// problem (corruption, version skew): fail loudly rather than
+			// silently discarding the state it was supposed to carry.
+			return err
+		}
 	}
 
 	cycles := cfg.cycles
@@ -182,6 +228,13 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "tmserve: collection finished; serving last snapshot until interrupted\n")
 	}()
+	if cfg.checkpoint != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			persistLoop(runCtx, engine, cfg.checkpoint, out)
+		}()
+	}
 
 	srv := &http.Server{Handler: newHandler(runCtx, engine)}
 	serveErr := make(chan error, 1)
@@ -201,7 +254,43 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	defer shutCancel()
 	_ = srv.Shutdown(shutCtx)
 	wg.Wait()
+	if cfg.checkpoint != "" {
+		// Final save after the engine has fully stopped, so the file holds
+		// the very last published state, not a mid-shutdown one.
+		saveCheckpoint(engine, cfg.checkpoint, out)
+	}
 	return runErr
+}
+
+// persistLoop writes a checkpoint after every publication (long-polling
+// the next version, so bursts coalesce into one save per loop turn) and
+// once more when the daemon shuts down. A failed save is reported and
+// retried on the next publication — persistence trouble must not take
+// the estimation service down.
+func persistLoop(ctx context.Context, engine *stream.Engine, path string, out io.Writer) {
+	var seen uint64
+	if snap, ok := engine.Latest(); ok {
+		// Persist whatever is already published before waiting: with a
+		// fast source the stream may have gone quiescent before this
+		// loop started, and waiting for the *next* version would leave
+		// the state unsaved until shutdown.
+		seen = snap.Version
+		saveCheckpoint(engine, path, out)
+	}
+	for {
+		snap, err := engine.WaitVersion(ctx, seen+1)
+		if err != nil {
+			return // shutting down; run() does the final save
+		}
+		seen = snap.Version
+		saveCheckpoint(engine, path, out)
+	}
+}
+
+func saveCheckpoint(engine *stream.Engine, path string, out io.Writer) {
+	if err := stream.SaveCheckpoint(path, engine.Checkpoint()); err != nil {
+		fmt.Fprintf(out, "tmserve: checkpoint save: %v\n", err)
+	}
 }
 
 func loadScenario(cfg config) (*netsim.Scenario, error) {
@@ -240,7 +329,21 @@ func newHandler(runCtx context.Context, e *stream.Engine) http.Handler {
 			defer context.AfterFunc(runCtx, cancel)()
 			snap, err := e.WaitVersion(ctx, min)
 			if err != nil {
-				writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()})
+				// Three distinct release causes, three distinct answers:
+				// a vanished client gets nothing (writing a body to a
+				// dead connection just burns a broken-pipe error), a
+				// shutting-down daemon says so with 503, and only a
+				// genuine bounded-wait expiry is the long-poll timeout
+				// 504. The order matters — during shutdown the client
+				// may well be gone too, and skipping the write wins.
+				switch {
+				case r.Context().Err() != nil:
+					// Client disconnected (or its own deadline fired).
+				case runCtx.Err() != nil:
+					writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "daemon shutting down"})
+				default:
+					writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": "timed out waiting for version"})
+				}
 				return
 			}
 			writeJSON(w, http.StatusOK, snap)

@@ -10,6 +10,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -253,22 +256,161 @@ func TestAPIBeforeFirstSnapshot(t *testing.T) {
 	}
 
 	// A long-poll for a version that will never arrive must be released
-	// by run-context cancellation well before its own 30s bound.
-	pollDone := make(chan int, 1)
+	// by run-context cancellation well before its own 30s bound — and
+	// answered as a daemon shutdown (503), not mislabeled a timeout.
+	pollDone := make(chan struct {
+		code int
+		err  string
+	}, 1)
 	go func() {
 		var e struct {
 			Error string `json:"error"`
 		}
-		pollDone <- getJSON(t, srv.URL+"/snapshot?min_version=1", &e)
+		code := getJSON(t, srv.URL+"/snapshot?min_version=1", &e)
+		pollDone <- struct {
+			code int
+			err  string
+		}{code, e.Error}
 	}()
 	time.Sleep(50 * time.Millisecond) // let the poll block in WaitVersion
 	cancelRun()
 	select {
-	case code := <-pollDone:
-		if code != http.StatusGatewayTimeout {
-			t.Fatalf("cancelled long-poll gave status %d, want 504", code)
+	case got := <-pollDone:
+		if got.code != http.StatusServiceUnavailable {
+			t.Fatalf("shutdown long-poll gave status %d, want 503", got.code)
+		}
+		if !strings.Contains(got.err, "shutting down") {
+			t.Fatalf("shutdown long-poll error %q does not name the shutdown", got.err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("long-poll not released by run-context cancellation")
+	}
+}
+
+// TestLongPollClientDisconnect pins the third leg of the long-poll error
+// mapping: when the *client* goes away, the handler must return without
+// writing anything to the dead connection — previously it produced the
+// same 504 + JSON body as a genuine timeout.
+func TestLongPollClientDisconnect(t *testing.T) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := stream.New(sc.Rt, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	handler := newHandler(runCtx, engine)
+
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/snapshot?min_version=1", nil).WithContext(reqCtx)
+	rec := httptest.NewRecorder()
+	served := make(chan struct{})
+	go func() {
+		handler.ServeHTTP(rec, req)
+		close(served)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll block in WaitVersion
+	cancelReq()                       // the client hangs up
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler not released by client disconnect")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("handler wrote %q to a disconnected client", rec.Body.String())
+	}
+	if rec.Header().Get("Content-Type") != "" {
+		t.Fatal("handler set response headers for a disconnected client")
+	}
+}
+
+// TestCheckpointRestart is the crash-safety acceptance demo: a daemon
+// run with -checkpoint is killed after publishing, and its successor —
+// pointed at the same file, with a pace so slow the collector cannot
+// have produced anything yet — must serve the previous run's snapshot
+// (same version, same re-solve) immediately on boot.
+func TestCheckpointRestart(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "tm.ckpt")
+	const cycles = 8
+	base, shutdown := startServer(t, config{
+		region: "europe", seed: 1, mode: "replay", cycles: cycles,
+		window: 4, minCoverage: 0.9, resolveEvery: 2,
+		method: "entropy", reg: 1000, sigmaInv2: 0.01, pace: 0,
+		checkpoint: ckpt,
+	})
+	// Wait until the stream is quiescent — every interval consumed and
+	// the final cadence re-solve (interval 7) published — so nothing can
+	// publish between this read and the shutdown save, and the restored
+	// snapshot must match it exactly.
+	var last stream.Snapshot
+	if code := getJSON(t, fmt.Sprintf("%s/snapshot?min_version=%d", base, cycles), &last); code != http.StatusOK {
+		t.Fatalf("long-poll status %d", code)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for last.Interval != cycles-1 || last.ResolveInterval != cycles-1 || last.Resolve == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream not quiescent before shutdown (interval %d, resolve %d)", last.Interval, last.ResolveInterval)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, base+"/snapshot", &last)
+	}
+	// Publish-time persistence is what makes a hard kill survivable: the
+	// checkpoint must already be on disk while the daemon is still up,
+	// not only written by the graceful-shutdown save.
+	deadline = time.Now().Add(time.Minute)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint on disk while the daemon is running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	shutdown() // SIGTERM-equivalent: the run context is cancelled
+
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint on disk after shutdown: %v", err)
+	}
+
+	// The successor replays with an hour-long pace: any snapshot it
+	// serves within the test's lifetime can only come from the restored
+	// checkpoint.
+	base2, shutdown2 := startServer(t, config{
+		region: "europe", seed: 1, mode: "replay", cycles: cycles,
+		window: 4, minCoverage: 0.9, resolveEvery: 2,
+		method: "entropy", reg: 1000, sigmaInv2: 0.01, pace: time.Hour,
+		checkpoint: ckpt,
+	})
+	defer shutdown2()
+	var restored stream.Snapshot
+	if code := getJSON(t, base2+"/snapshot", &restored); code != http.StatusOK {
+		t.Fatalf("restarted daemon dark: /snapshot gave %d, want 200 immediately", code)
+	}
+	if restored.Version < last.Version {
+		t.Fatalf("restored version %d older than the %d served before the restart", restored.Version, last.Version)
+	}
+	if restored.Interval != last.Interval || restored.Window != last.Window {
+		t.Fatalf("restored snapshot covers interval %d window %d, want %d/%d",
+			restored.Interval, restored.Window, last.Interval, last.Window)
+	}
+	if restored.Resolve == nil || restored.ResolveInterval != last.ResolveInterval {
+		t.Fatalf("restored snapshot lost the re-solve (interval %d, want %d)",
+			restored.ResolveInterval, last.ResolveInterval)
+	}
+	for p := range last.Mean {
+		if restored.Mean[p] != last.Mean[p] {
+			t.Fatalf("restored mean differs at demand %d: %v vs %v", p, restored.Mean[p], last.Mean[p])
+		}
+	}
+	var health struct {
+		OK   bool `json:"ok"`
+		Have bool `json:"have_snapshot"`
+	}
+	if code := getJSON(t, base2+"/healthz", &health); code != http.StatusOK || !health.OK || !health.Have {
+		t.Fatalf("restarted healthz: code=%d ok=%v have=%v", code, health.OK, health.Have)
 	}
 }

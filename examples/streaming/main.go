@@ -65,8 +65,13 @@ func main() {
 		v = snap.Version
 		resolve := "-"
 		if snap.Resolve != nil {
-			resolve = fmt.Sprintf("MRE %.3f @ interval %d (%.0f ms)",
-				snap.ResolveMRE, snap.ResolveInterval, snap.ResolveDuration.Seconds()*1000)
+			start := "cold"
+			if snap.ResolveWarm {
+				start = "warm" // started from the previous published estimate
+			}
+			resolve = fmt.Sprintf("MRE %.3f @ interval %d (%.0f ms, %d iters, %s)",
+				snap.ResolveMRE, snap.ResolveInterval, snap.ResolveDuration.Seconds()*1000,
+				snap.ResolveIterations, start)
 		}
 		fmt.Printf("%-8d %-9d %-7d %-12.3f %s\n", snap.Version, snap.Interval, snap.Window, snap.GravityMRE, resolve)
 		if snap.Interval == cycles-1 && snap.Resolve != nil {

@@ -48,6 +48,16 @@ type FanoutEstimate struct {
 // access-link loads). The constraint set is a product of per-source
 // simplices; the problem is solved with accelerated projected gradient.
 func EstimateFanouts(rt *topology.Routing, loads []linalg.Vector, cfg FanoutConfig) (*FanoutEstimate, error) {
+	return EstimateFanoutsFrom(rt, loads, cfg, nil)
+}
+
+// EstimateFanoutsFrom is EstimateFanouts with an explicit starting fanout
+// iterate alpha0 (nil starts from uniform fanouts). The paper's Figs. 4–5
+// point is precisely that fanouts drift slowly, so the previous window's
+// solved alpha is an excellent warm start for the next one
+// (internal/stream); the constrained objective's solution set does not
+// depend on the start.
+func EstimateFanoutsFrom(rt *topology.Routing, loads []linalg.Vector, cfg FanoutConfig, alpha0 linalg.Vector) (*FanoutEstimate, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("core: EstimateFanouts needs at least one sample")
 	}
@@ -111,9 +121,18 @@ func EstimateFanouts(rt *topology.Routing, loads []linalg.Vector, cfg FanoutConf
 	if cfg.Unconstrained {
 		project = func(a linalg.Vector) { a.ClampNonNegative() }
 	}
-	// Start from uniform fanouts.
-	alpha := linalg.NewVector(p)
-	alpha.Fill(1 / float64(n-1))
+	var alpha linalg.Vector
+	if alpha0 != nil {
+		if len(alpha0) != p {
+			return nil, fmt.Errorf("core: fanout warm start has %d entries, want %d", len(alpha0), p)
+		}
+		alpha = alpha0.Clone()
+		project(alpha) // re-project: the caller's iterate may be slightly off the simplex
+	} else {
+		// Start from uniform fanouts.
+		alpha = linalg.NewVector(p)
+		alpha.Fill(1 / float64(n-1))
+	}
 	alpha, res := solver.FISTA(alpha, grad, lip, project, cfg.MaxIter, cfg.Tol)
 
 	// Demand reconstruction: average of S_k·α over the window.

@@ -24,14 +24,28 @@ const (
 // values trust the prior, large values trust the link measurements. Solved
 // with accelerated projected gradient (FISTA).
 func Bayesian(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, error) {
+	x, _, err := BayesianFrom(in, prior, reg, nil, regIter, regTol)
+	return x, err
+}
+
+// BayesianFrom is Bayesian with an explicit starting iterate x0 (nil
+// starts from the prior), an explicit iteration budget and stopping
+// tolerance, and the consumed FISTA iteration count exposed. The MAP
+// objective is strongly convex, so the solution is independent of x0;
+// note that FISTA's momentum makes a warm start shorten the *distance*
+// to the fixed point without reliably shortening the iteration count —
+// streaming re-solves (internal/stream) get their warm-start iteration
+// savings from the entropy and fanout solvers, and use this entry point
+// for its budget control and telemetry.
+func BayesianFrom(in *Instance, prior linalg.Vector, reg float64, x0 linalg.Vector, maxIter int, tol float64) (linalg.Vector, int, error) {
 	if reg <= 0 {
-		return nil, fmt.Errorf("core: Bayesian needs positive regularization, got %v", reg)
+		return nil, 0, fmt.Errorf("core: Bayesian needs positive regularization, got %v", reg)
 	}
-	x, res := solver.LeastSquaresNonneg(in.Rt.R, in.Loads, prior, 1/reg, nil, regIter, regTol)
+	x, res := solver.LeastSquaresNonneg(in.Rt.R, in.Loads, prior, 1/reg, x0, maxIter, tol)
 	if !x.AllFinite() {
-		return nil, fmt.Errorf("core: Bayesian produced non-finite estimate (%d iters)", res.Iterations)
+		return nil, 0, fmt.Errorf("core: Bayesian produced non-finite estimate (%d iters)", res.Iterations)
 	}
-	return x, nil
+	return x, res.Iterations, nil
 }
 
 // BayesianNNLS solves the same MAP problem exactly with Lawson–Hanson NNLS
@@ -76,10 +90,21 @@ func Entropy(in *Instance, prior linalg.Vector, reg float64) (linalg.Vector, err
 // for bounded runtime on 10k-demand instances; the defaults used by
 // Entropy itself are regIter/regTol.
 func EntropyBudget(in *Instance, prior linalg.Vector, reg float64, maxIter int, tol float64) (linalg.Vector, int, error) {
+	return EntropyFrom(in, prior, reg, nil, maxIter, tol)
+}
+
+// EntropyFrom is EntropyBudget with an explicit starting iterate x0 (nil
+// starts from the prior, as Entropy does). The objective is strictly
+// convex on the prior's support, so the fixed point does not depend on
+// x0 — only the iteration count does. Streaming re-solves over a slowly
+// drifting window (internal/stream) warm-start each solve from the
+// previous published estimate and converge in a fraction of the
+// cold-start iterations.
+func EntropyFrom(in *Instance, prior linalg.Vector, reg float64, x0 linalg.Vector, maxIter int, tol float64) (linalg.Vector, int, error) {
 	if reg <= 0 {
 		return nil, 0, fmt.Errorf("core: Entropy needs positive regularization, got %v", reg)
 	}
-	x, res := solver.EntropyRegularized(in.Rt.R, in.Loads, prior, 1/reg, maxIter, tol)
+	x, res := solver.EntropyRegularizedFrom(in.Rt.R, in.Loads, prior, 1/reg, x0, maxIter, tol)
 	if !x.AllFinite() {
 		return nil, 0, fmt.Errorf("core: Entropy produced non-finite estimate (%d iters)", res.Iterations)
 	}

@@ -48,6 +48,16 @@ func Vardi(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg
 // VardiIters is Vardi with the solver iteration count exposed, for the
 // cross-scenario evaluation harness (internal/scenario).
 func VardiIters(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (linalg.Vector, int, error) {
+	return VardiFrom(rt, loads, cfg, nil)
+}
+
+// VardiFrom is VardiIters with an explicit starting iterate x0 for the
+// stacked non-negative least-squares solve (nil keeps the neutral
+// uniform spread). The moment system is solved to a unique least-norm
+// fixed point regardless of x0; a warm start from the previous window's
+// estimate (internal/stream) cuts the iteration count on slowly
+// drifting demand.
+func VardiFrom(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig, x0 linalg.Vector) (linalg.Vector, int, error) {
 	if len(loads) < 2 {
 		return nil, 0, fmt.Errorf("core: Vardi needs a time series, got %d samples", len(loads))
 	}
@@ -129,9 +139,13 @@ func VardiIters(rt *topology.Routing, loads []linalg.Vector, cfg VardiConfig) (l
 	for i, v := range rhs2 {
 		rhs[l+i] = w * v
 	}
-	// Neutral warm start: total traffic spread uniformly over the demands.
-	x0 := linalg.NewVector(p)
-	x0.Fill(tHat.Sum() / float64(l) / float64(p) * float64(l))
+	if x0 == nil {
+		// Neutral start: total traffic spread uniformly over the demands.
+		x0 = linalg.NewVector(p)
+		x0.Fill(tHat.Sum() / float64(l) / float64(p) * float64(l))
+	} else if len(x0) != p {
+		return nil, 0, fmt.Errorf("core: Vardi warm start has %d demands, want %d", len(x0), p)
+	}
 	lam, res := solver.LeastSquaresNonneg(stacked, rhs, nil, 0, x0, cfg.MaxIter, cfg.Tol)
 	if !lam.AllFinite() {
 		return nil, 0, fmt.Errorf("core: Vardi produced non-finite estimate (%d iters)", res.Iterations)

@@ -114,6 +114,25 @@ func (v Vector) Norm2() float64 {
 	return scale * math.Sqrt(ssq)
 }
 
+// RelL1 returns the relative L1 distance ‖a − b‖₁ / ‖b‖₁, or 0 when b
+// has no mass — the scale-free "how much did this move" metric shared
+// by the scenario lab's error scoring and the streaming engine's window
+// drift signal. It panics if the lengths differ.
+func RelL1(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: RelL1 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var num, den float64
+	for i := range a {
+		num += math.Abs(a[i] - b[i])
+		den += math.Abs(b[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // Norm1 returns the sum of absolute values of v.
 func (v Vector) Norm1() float64 {
 	var s float64

@@ -62,32 +62,33 @@ func Methods(b Budget) []Method {
 
 // Result scores one (instance, method) cell.
 type Result struct {
-	Spec, Method string
+	Spec   string `json:"spec"`
+	Method string `json:"method"`
 	// MRE is the paper's mean relative error over the demands carrying
 	// 90% of traffic (eq. 8).
-	MRE float64
+	MRE float64 `json:"mre"`
 	// RelL1 and RelL2 are ‖ŝ−s‖₁/‖s‖₁ and ‖ŝ−s‖₂/‖s‖₂ over all demands.
-	RelL1, RelL2 float64
-	Iterations   int
-	Runtime      time.Duration
-	Err          error
+	RelL1      float64       `json:"rel_l1"`
+	RelL2      float64       `json:"rel_l2"`
+	Iterations int           `json:"iterations"`
+	Runtime    time.Duration `json:"runtime_ns"`
+	// Err is the in-process failure cause. error values marshal to "{}"
+	// under encoding/json, so it is excluded from serialization;
+	// ErrMessage carries the cause in persisted/reported grids. Use
+	// Failed to test either form.
+	Err        error  `json:"-"`
+	ErrMessage string `json:"error,omitempty"`
 }
 
+// Failed reports whether the cell records a method failure, in-process
+// (Err) or deserialized (ErrMessage).
+func (r *Result) Failed() bool { return r.Err != nil || r.ErrMessage != "" }
+
 // RelL1 returns the relative L1 error ‖est−truth‖₁/‖truth‖₁ (0 when the
-// truth is identically zero).
+// truth is identically zero). Shared kernel: linalg.RelL1, which is
+// also the streaming engine's window-drift signal.
 func RelL1(est, truth linalg.Vector) float64 {
-	if len(est) != len(truth) {
-		panic("scenario: RelL1 length mismatch")
-	}
-	var num, den float64
-	for i, t := range truth {
-		num += math.Abs(est[i] - t)
-		den += math.Abs(t)
-	}
-	if den == 0 {
-		return 0
-	}
-	return num / den
+	return linalg.RelL1(est, truth)
 }
 
 // RelL2 returns the relative L2 error ‖est−truth‖₂/‖truth‖₂ (0 when the
@@ -127,6 +128,7 @@ func Evaluate(ctx context.Context, pool *runner.Pool, instances []*Instance, met
 					res.Iterations = iters
 					if err != nil {
 						res.Err = err
+						res.ErrMessage = err.Error()
 						return res, nil
 					}
 					res.MRE = core.MRE(est, in.Truth, in.Thresh)

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/runner"
+)
+
+// TestResultErrorRoundTrip pins the persistence fix: a Result carrying a
+// failure must keep its cause through a JSON round trip. The raw error
+// field marshals to "{}" under encoding/json (error is an interface with
+// no exported fields), which is how persisted grids used to lose every
+// failure cause.
+func TestResultErrorRoundTrip(t *testing.T) {
+	in := Result{
+		Spec:       "scaled:6",
+		Method:     "vardi",
+		Err:        errors.New("solver diverged at iteration 7"),
+		ErrMessage: "solver diverged at iteration 7",
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrMessage != in.ErrMessage {
+		t.Fatalf("failure cause lost: %q round-tripped to %q", in.ErrMessage, out.ErrMessage)
+	}
+	if !out.Failed() {
+		t.Fatal("deserialized failure not reported by Failed()")
+	}
+	if out.Err != nil {
+		t.Fatalf("raw error resurrected as %v — it is json:\"-\"", out.Err)
+	}
+	// A clean cell serializes without an error key at all.
+	clean, err := json.Marshal(Result{Spec: "scaled:6", Method: "gravity", MRE: 0.23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(clean, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["error"]; ok {
+		t.Fatalf("clean result serialized an error key: %s", clean)
+	}
+	if (&Result{}).Failed() {
+		t.Fatal("empty result reports failure")
+	}
+}
+
+// TestEvaluateRecordsFailureCause checks the harness end: a method that
+// fails must land in its grid cell with both the in-process error and
+// the serializable message set.
+func TestEvaluateRecordsFailureCause(t *testing.T) {
+	in, err := Build("scaled:6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom: no estimate for you")
+	methods := []Method{{
+		Name: "exploding",
+		Run:  func(*Instance) (linalg.Vector, int, error) { return nil, 3, boom },
+	}}
+	results, err := Evaluate(context.Background(), runner.NewPool(1), []*Instance{in}, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if !errors.Is(r.Err, boom) {
+		t.Fatalf("cell error %v, want the method's", r.Err)
+	}
+	if r.ErrMessage != boom.Error() {
+		t.Fatalf("cell message %q, want %q", r.ErrMessage, boom.Error())
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ErrMessage != boom.Error() || !back.Failed() {
+		t.Fatalf("persisted cell lost the failure cause: %s", data)
+	}
+}

@@ -8,15 +8,25 @@
 // (eq. 7), Vardi's second-moment method (§4.2.2) or the paper's
 // constant-fanout estimator (§4.2.4) — on a dedicated latest-wins worker,
 // so a slow solve never blocks interval ingestion and a stale pending
-// window is superseded rather than queued. The evolving traffic matrix is
-// exposed through a versioned Snapshot API (Latest / WaitVersion) that
-// cmd/tmserve serves over HTTP.
+// window is superseded rather than queued.
+//
+// Because backbone demand drifts slowly between intervals (the premise
+// of the paper's Figs. 4–5), each full re-solve is warm-started from the
+// previously published estimate, which cuts the steady-state iteration
+// count by several times versus a cold start; the cadence is optionally
+// adaptive, re-solving immediately when the window mean drifts past a
+// threshold and backing off while it is steady. The evolving traffic
+// matrix is exposed through a versioned Snapshot API (Latest /
+// WaitVersion) that cmd/tmserve serves over HTTP, and the whole engine
+// state can be checkpointed to disk and restored across restarts
+// (Checkpoint / Restore / SaveCheckpoint / LoadCheckpoint).
 package stream
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collector"
@@ -55,11 +65,33 @@ type Config struct {
 	// flight at a time — if the window advances while one runs, only the
 	// newest pending window is solved (latest wins).
 	ResolveEvery int
+	// DriftThreshold makes the re-solve cadence adaptive: when the window
+	// drift (relative L1 distance between consecutive window means,
+	// Snapshot.Drift) exceeds it, a re-solve is scheduled immediately
+	// instead of waiting out the cadence, and the backed-off cadence (see
+	// ResolveMaxEvery) snaps back to ResolveEvery. 0 disables drift
+	// triggering (pure fixed cadence).
+	DriftThreshold float64
+	// ResolveMaxEvery caps the adaptive back-off: every time a cadence
+	// re-solve fires with all drift since the previous re-solve at or
+	// below DriftThreshold/2 (a steady window), the effective cadence
+	// doubles, up to ResolveMaxEvery; any drift trigger resets it to
+	// ResolveEvery. Values <= ResolveEvery (including 0) disable the
+	// back-off. Requires DriftThreshold > 0 — without a drift signal the
+	// engine cannot tell steady from moving.
+	ResolveMaxEvery int
 	// Method is the re-solve estimator. Defaults to MethodEntropy.
 	Method Method
 	// Reg is the regularization parameter for MethodEntropy/MethodBayesian
 	// (the paper sweeps it in Fig. 13). Defaults to 1000.
 	Reg float64
+	// ResolveMaxIter and ResolveTol budget each full re-solve. The
+	// defaults (20000, 1e-6) stop at the point where the scoring metrics
+	// have stabilized; the batch estimators' 1e-9 would spend the entire
+	// budget crawling along the routing matrix's nullspace on every
+	// re-solve, erasing the warm-start advantage.
+	ResolveMaxIter int
+	ResolveTol     float64
 	// PruneConsumed discards each interval from the store once this
 	// engine has consumed or skipped it, keeping an endless run at
 	// O(window) store memory. Enable it only when this engine is the
@@ -74,7 +106,8 @@ type Config struct {
 }
 
 // Snapshot is one published state of the evolving traffic matrix. All
-// vectors are private copies, safe to retain and serialize.
+// vectors returned by Latest/WaitVersion are private deep copies, safe
+// to retain, mutate and serialize.
 type Snapshot struct {
 	// Version increases by one on every publication (a consumed interval
 	// or a completed re-solve). It never runs backwards, so a client can
@@ -88,6 +121,10 @@ type Snapshot struct {
 	Covered int `json:"covered"`
 	// Skipped counts intervals dropped for insufficient coverage so far.
 	Skipped int `json:"skipped"`
+	// Drift is the relative L1 distance between this window mean and the
+	// previous interval's — the signal the adaptive re-solve cadence
+	// watches (0 on the first interval).
+	Drift float64 `json:"drift"`
 
 	// Gravity is the incremental gravity estimate over the window mean
 	// (Mbps per PoP pair).
@@ -117,23 +154,56 @@ type Snapshot struct {
 	ResolveInterval int `json:"resolve_interval"`
 	// ResolveDuration is how long the re-solve took.
 	ResolveDuration time.Duration `json:"resolve_duration_ns"`
+	// ResolveIterations is the solver iteration count the re-solve
+	// consumed — the quantity the warm-start pipeline drives down.
+	ResolveIterations int `json:"resolve_iterations"`
+	// ResolveWarm reports whether the re-solve was warm-started from a
+	// previously published estimate (false for the cold first solve and
+	// after a method change).
+	ResolveWarm bool `json:"resolve_warm"`
 
 	// Time is the wall-clock publication time.
 	Time time.Time `json:"time"`
+}
+
+// cloneVec deep-copies a vector, preserving nil (Resolve's "no re-solve
+// yet" sentinel must stay nil, not become an empty slice).
+func cloneVec(v linalg.Vector) linalg.Vector {
+	if v == nil {
+		return nil
+	}
+	return v.Clone()
+}
+
+// cloneForRead returns a deep copy of the snapshot whose vectors are
+// private to the caller. Engine internals share snapshot vectors across
+// versions (a publication without a fresh re-solve carries the previous
+// Resolve forward), so handing interior slices out would let one reader
+// corrupt every other reader's — and the engine's own — state.
+func (s Snapshot) cloneForRead() Snapshot {
+	s.Gravity = cloneVec(s.Gravity)
+	s.Mean = cloneVec(s.Mean)
+	s.Fanouts = cloneVec(s.Fanouts)
+	s.Resolve = cloneVec(s.Resolve)
+	return s
 }
 
 // MetricPoint is one entry of the estimation-error history: the scoring
 // fields of a Snapshot without the matrices, cheap enough to keep and
 // serve in bulk.
 type MetricPoint struct {
-	Version    uint64    `json:"version"`
-	Interval   int       `json:"interval"`
-	Window     int       `json:"window"`
-	Covered    int       `json:"covered"`
-	GravityMRE float64   `json:"gravity_mre"`
-	ResolveMRE float64   `json:"resolve_mre"`
-	HasResolve bool      `json:"has_resolve"`
-	Time       time.Time `json:"time"`
+	Version           uint64    `json:"version"`
+	Interval          int       `json:"interval"`
+	Window            int       `json:"window"`
+	Covered           int       `json:"covered"`
+	Drift             float64   `json:"drift"`
+	GravityMRE        float64   `json:"gravity_mre"`
+	ResolveMRE        float64   `json:"resolve_mre"`
+	ResolveInterval   int       `json:"resolve_interval"`
+	ResolveIterations int       `json:"resolve_iterations"`
+	ResolveWarm       bool      `json:"resolve_warm"`
+	HasResolve        bool      `json:"has_resolve"`
+	Time              time.Time `json:"time"`
 }
 
 // windowEntry is one consumed interval held in the sliding window.
@@ -151,12 +221,16 @@ type resolveWork struct {
 	thresh   float64
 }
 
-// Engine is the continuous estimation service. Create it with New, drive
-// it with Run (once), and read it with Latest / WaitVersion / Metrics
-// from any goroutine.
+// Engine is the continuous estimation service. Create it with New,
+// optionally Restore a checkpoint, drive it with Run (once), and read it
+// with Latest / WaitVersion / Metrics / Checkpoint from any goroutine.
 type Engine struct {
 	rt  *topology.Routing
 	cfg Config
+
+	// started flips once: Run is documented "at most once", and a second
+	// call must fail cleanly instead of double-closing e.work.
+	started atomic.Bool
 
 	mu       sync.RWMutex
 	snap     Snapshot
@@ -164,13 +238,28 @@ type Engine struct {
 	updateCh chan struct{} // closed and replaced on every publication
 	metrics  []MetricPoint
 
-	// consumption state, owned by the Run goroutine
+	// stateMu guards the consumption and warm-start state below, so
+	// Checkpoint can capture a consistent view while the Run goroutine
+	// and the resolve worker advance it. Never held together with mu.
+	stateMu   sync.Mutex
 	ring      []windowEntry
 	loadSum   linalg.Vector
 	demandSum linalg.Vector
 	next      int // next interval index to consume
 	consumed  int
 	skipped   int
+	prevMean  linalg.Vector // last window mean, for the drift signal
+	// Adaptive cadence state: intervals since the last scheduled
+	// re-solve, the effective cadence, and the worst drift seen since
+	// the last re-solve (the steadiness judge for the back-off).
+	sinceResolve int
+	curEvery     int
+	driftPeak    float64
+	// Warm-start state, advanced by the resolve worker on every
+	// successful solve: the previous estimate (the x0 of the next one)
+	// and, for MethodFanout, the previous solved fanout iterate.
+	warmEst   linalg.Vector
+	warmAlpha linalg.Vector
 
 	work     chan resolveWork
 	workerWG sync.WaitGroup
@@ -198,6 +287,24 @@ func New(rt *topology.Routing, cfg Config) (*Engine, error) {
 	if cfg.SigmaInv2 <= 0 {
 		cfg.SigmaInv2 = 0.01
 	}
+	if cfg.DriftThreshold < 0 {
+		return nil, fmt.Errorf("stream: negative drift threshold %v", cfg.DriftThreshold)
+	}
+	if cfg.DriftThreshold > 0 && cfg.ResolveEvery <= 0 {
+		return nil, fmt.Errorf("stream: drift threshold needs re-solves enabled (ResolveEvery > 0)")
+	}
+	if cfg.ResolveMaxEvery < 0 {
+		return nil, fmt.Errorf("stream: negative resolve-max-every %d", cfg.ResolveMaxEvery)
+	}
+	if cfg.ResolveMaxEvery > cfg.ResolveEvery && cfg.DriftThreshold == 0 {
+		return nil, fmt.Errorf("stream: cadence back-off needs a drift threshold")
+	}
+	if cfg.ResolveMaxIter <= 0 {
+		cfg.ResolveMaxIter = 20000
+	}
+	if cfg.ResolveTol <= 0 {
+		cfg.ResolveTol = 1e-6
+	}
 	if cfg.MetricsHistory <= 0 {
 		cfg.MetricsHistory = 1024
 	}
@@ -207,16 +314,21 @@ func New(rt *topology.Routing, cfg Config) (*Engine, error) {
 		updateCh:  make(chan struct{}),
 		loadSum:   linalg.NewVector(rt.R.Rows()),
 		demandSum: linalg.NewVector(rt.Net.NumPairs()),
+		curEvery:  cfg.ResolveEvery,
 		work:      make(chan resolveWork, 1),
 	}, nil
 }
 
 // Run subscribes to the store and processes poll windows until ctx is
 // done (returning ctx.Err()) or the subscription is closed by the store
-// shutting down (returning nil). It must be called at most once. Any
+// shutting down (returning nil). It must be called at most once; a
+// second call returns an error without touching the running stream. Any
 // intervals already in the store are consumed immediately, so Run may be
 // started before, during or after the collection it watches.
 func (e *Engine) Run(ctx context.Context, store *collector.Store) error {
+	if !e.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("stream: Engine.Run called more than once")
+	}
 	updates, cancel := store.Subscribe()
 	defer cancel()
 	e.workerWG.Add(1)
@@ -244,6 +356,15 @@ func (e *Engine) Run(ctx context.Context, store *collector.Store) error {
 	}
 }
 
+// skip records one interval dropped for insufficient coverage (or lost
+// entirely) and advances the cursor, atomically w.r.t. Checkpoint.
+func (e *Engine) skip() {
+	e.stateMu.Lock()
+	e.skipped++
+	e.next++
+	e.stateMu.Unlock()
+}
+
 // finalDrain consumes or skips every interval still pending after the
 // collection has ended, applying MinCoverage alone (nothing can improve
 // coverage anymore).
@@ -253,9 +374,8 @@ func (e *Engine) finalDrain(store *collector.Store) {
 		if ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()) {
 			e.consume(e.next, rates, covered)
 		} else {
-			e.skipped++
+			e.skip()
 		}
-		e.next++
 	}
 	if e.cfg.PruneConsumed {
 		store.Prune(e.next)
@@ -291,17 +411,14 @@ func (e *Engine) scan(store *collector.Store) {
 		case full, closed && ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()):
 			rates, covered, ok := store.Matrix(e.next)
 			if !ok { // pruned under our feet; cannot happen with one consumer
-				e.skipped++
-				e.next++
+				e.skip()
 				continue
 			}
 			e.consume(e.next, rates, covered)
-			e.next++
 		case closed:
 			// Final but under-covered (or entirely lost): skip it rather
 			// than stalling the stream behind a hole.
-			e.skipped++
-			e.next++
+			e.skip()
 		default:
 			return // still filling; wait for more records
 		}
@@ -312,6 +429,11 @@ func (e *Engine) scan(store *collector.Store) {
 // publishes a fresh snapshot with the incremental gravity estimate.
 func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	loads := e.rt.LinkLoads(rates)
+	net := e.rt.Net
+	te := linalg.NewVector(net.NumPoPs())
+	tx := linalg.NewVector(net.NumPoPs())
+
+	e.stateMu.Lock()
 	e.ring = append(e.ring, windowEntry{interval: interval, demand: rates, loads: loads})
 	linalg.Axpy(1, loads, e.loadSum)
 	linalg.Axpy(1, rates, e.demandSum)
@@ -322,29 +444,73 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 		linalg.Axpy(-1, old.demand, e.demandSum)
 	}
 	e.consumed++
-	k := float64(len(e.ring))
+	e.next = interval + 1
+	windowLen := len(e.ring)
+	k := float64(windowLen)
+	skipped := e.skipped
 
-	// Incremental gravity: te/tx are read off the running load sums, so
-	// the per-interval cost is O(L + P) plus the gravity product — no
-	// re-averaging of the window.
-	net := e.rt.Net
-	te := linalg.NewVector(net.NumPoPs())
-	tx := linalg.NewVector(net.NumPoPs())
+	// Incremental gravity inputs: te/tx are read off the running load
+	// sums, so the per-interval cost is O(L + P) plus the gravity product
+	// — no re-averaging of the window.
 	for pop := 0; pop < net.NumPoPs(); pop++ {
 		te[pop] = e.loadSum[e.rt.IngressRow(pop)] / k
 		tx[pop] = e.loadSum[e.rt.EgressRow(pop)] / k
 	}
-	gravity := core.GravityFromTotals(net, te, tx, nil)
-
 	mean := e.demandSum.Clone()
 	mean.Scale(1 / k)
-	thresh := core.ShareThreshold(mean, 0.9)
 
+	// Window drift and the re-solve schedule decision. A drift trigger
+	// fires as soon as the window moves past the threshold; a cadence
+	// re-solve of a steady window doubles the effective cadence up to
+	// ResolveMaxEvery (see Config).
+	var drift float64
+	if e.prevMean != nil {
+		drift = linalg.RelL1(mean, e.prevMean)
+	}
+	e.prevMean = mean // never mutated after this point; safe to retain
+	schedule := false
+	if e.cfg.ResolveEvery > 0 {
+		e.sinceResolve++
+		if drift > e.driftPeak {
+			e.driftPeak = drift
+		}
+		switch {
+		case e.cfg.DriftThreshold > 0 && drift > e.cfg.DriftThreshold:
+			schedule = true
+			e.curEvery = e.cfg.ResolveEvery
+		case e.sinceResolve >= e.curEvery:
+			schedule = true
+			if e.cfg.ResolveMaxEvery > e.cfg.ResolveEvery && e.driftPeak <= e.cfg.DriftThreshold/2 {
+				e.curEvery *= 2
+				if e.curEvery > e.cfg.ResolveMaxEvery {
+					e.curEvery = e.cfg.ResolveMaxEvery
+				}
+			} else {
+				e.curEvery = e.cfg.ResolveEvery
+			}
+		}
+		if schedule {
+			e.sinceResolve = 0
+			e.driftPeak = 0
+		}
+	}
+	var loadsCopy []linalg.Vector
+	if schedule {
+		loadsCopy = make([]linalg.Vector, windowLen)
+		for i, w := range e.ring {
+			loadsCopy[i] = w.loads.Clone()
+		}
+	}
+	e.stateMu.Unlock()
+
+	gravity := core.GravityFromTotals(net, te, tx, nil)
+	thresh := core.ShareThreshold(mean, 0.9)
 	snap := Snapshot{
 		Interval:   interval,
-		Window:     len(e.ring),
+		Window:     windowLen,
 		Covered:    covered,
-		Skipped:    e.skipped,
+		Skipped:    skipped,
+		Drift:      drift,
 		Gravity:    gravity,
 		Mean:       mean,
 		Fanouts:    traffic.FanoutsOf(net.NumPoPs(), mean),
@@ -352,11 +518,7 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	}
 	e.publish(snap)
 
-	if e.cfg.ResolveEvery > 0 && e.consumed%e.cfg.ResolveEvery == 0 {
-		loadsCopy := make([]linalg.Vector, len(e.ring))
-		for i, w := range e.ring {
-			loadsCopy[i] = w.loads.Clone()
-		}
+	if schedule {
 		w := resolveWork{interval: interval, loads: loadsCopy, mean: mean, thresh: thresh}
 		// Latest wins: drop a pending (not yet started) re-solve in favor
 		// of the newer window.
@@ -389,6 +551,8 @@ func (e *Engine) publish(snap Snapshot) {
 		snap.ResolveMRE = prev.ResolveMRE
 		snap.ResolveInterval = prev.ResolveInterval
 		snap.ResolveDuration = prev.ResolveDuration
+		snap.ResolveIterations = prev.ResolveIterations
+		snap.ResolveWarm = prev.ResolveWarm
 	}
 	e.installLocked(snap)
 }
@@ -396,7 +560,7 @@ func (e *Engine) publish(snap Snapshot) {
 // publishResolve merges a completed re-solve into whatever the current
 // snapshot is by then — never regressing the window state, which may
 // have advanced while the solve ran — and publishes the result.
-func (e *Engine) publishResolve(est linalg.Vector, w resolveWork, d time.Duration) {
+func (e *Engine) publishResolve(est linalg.Vector, w resolveWork, iters int, warm bool, d time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	snap := e.snap
@@ -407,6 +571,8 @@ func (e *Engine) publishResolve(est linalg.Vector, w resolveWork, d time.Duratio
 	snap.ResolveMRE = core.MRE(est, w.mean, w.thresh)
 	snap.ResolveInterval = w.interval
 	snap.ResolveDuration = d
+	snap.ResolveIterations = iters
+	snap.ResolveWarm = warm
 	e.installLocked(snap)
 }
 
@@ -416,14 +582,18 @@ func (e *Engine) installLocked(snap Snapshot) {
 	e.snap = snap
 	e.have = true
 	e.metrics = append(e.metrics, MetricPoint{
-		Version:    snap.Version,
-		Interval:   snap.Interval,
-		Window:     snap.Window,
-		Covered:    snap.Covered,
-		GravityMRE: snap.GravityMRE,
-		ResolveMRE: snap.ResolveMRE,
-		HasResolve: snap.Resolve != nil,
-		Time:       snap.Time,
+		Version:           snap.Version,
+		Interval:          snap.Interval,
+		Window:            snap.Window,
+		Covered:           snap.Covered,
+		Drift:             snap.Drift,
+		GravityMRE:        snap.GravityMRE,
+		ResolveMRE:        snap.ResolveMRE,
+		ResolveInterval:   snap.ResolveInterval,
+		ResolveIterations: snap.ResolveIterations,
+		ResolveWarm:       snap.ResolveWarm,
+		HasResolve:        snap.Resolve != nil,
+		Time:              snap.Time,
 	})
 	if len(e.metrics) > e.cfg.MetricsHistory {
 		e.metrics = e.metrics[len(e.metrics)-e.cfg.MetricsHistory:]
@@ -440,27 +610,62 @@ func (e *Engine) resolveWorker(ctx context.Context) {
 			continue // drain without solving during shutdown
 		}
 		t0 := time.Now()
-		est, err := e.resolve(w)
+		est, iters, warm, err := e.resolve(w)
 		if err != nil {
 			continue // a failed re-solve never unpublishes the previous one
 		}
-		e.publishResolve(est, w, time.Since(t0))
+		e.publishResolve(est, w, iters, warm, time.Since(t0))
 	}
 }
 
-// resolve executes the configured full estimation method on one window.
-func (e *Engine) resolve(w resolveWork) (linalg.Vector, error) {
+// takeWarm returns the warm-start iterates for the next re-solve (nil
+// means cold). Locked: Restore seeds them before Run, the worker
+// advances them, Checkpoint reads them.
+func (e *Engine) takeWarm() (est, alpha linalg.Vector) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.warmEst, e.warmAlpha
+}
+
+// setWarm records the iterates a successful re-solve ended on. The
+// stored slices are only ever handed to solvers as starting points
+// (which clone them), never mutated in place, so sharing them with the
+// published snapshot is safe.
+func (e *Engine) setWarm(est, alpha linalg.Vector) {
+	e.stateMu.Lock()
+	e.warmEst = est
+	if alpha != nil {
+		e.warmAlpha = alpha
+	}
+	e.stateMu.Unlock()
+}
+
+// resolve executes the configured full estimation method on one window,
+// warm-started from the previous published estimate when one exists.
+func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool, err error) {
+	warmEst, warmAlpha := e.takeWarm()
 	switch e.cfg.Method {
 	case MethodVardi:
 		cfg := core.DefaultVardiConfig()
 		cfg.SigmaInv2 = e.cfg.SigmaInv2
-		return core.Vardi(e.rt, w.loads, cfg)
-	case MethodFanout:
-		fe, err := core.EstimateFanouts(e.rt, w.loads, core.DefaultFanoutConfig())
+		cfg.MaxIter = e.cfg.ResolveMaxIter
+		cfg.Tol = e.cfg.ResolveTol
+		lam, n, err := core.VardiFrom(e.rt, w.loads, cfg, warmEst)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
-		return fe.MeanDemand, nil
+		e.setWarm(lam, nil)
+		return lam, n, warmEst != nil, nil
+	case MethodFanout:
+		cfg := core.DefaultFanoutConfig()
+		cfg.MaxIter = e.cfg.ResolveMaxIter
+		cfg.Tol = e.cfg.ResolveTol
+		fe, err := core.EstimateFanoutsFrom(e.rt, w.loads, cfg, warmAlpha)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		e.setWarm(fe.MeanDemand, fe.Alpha)
+		return fe.MeanDemand, fe.Iterations, warmAlpha != nil, nil
 	}
 	meanLoads := linalg.NewVector(len(w.loads[0]))
 	for _, t := range w.loads {
@@ -469,33 +674,41 @@ func (e *Engine) resolve(w resolveWork) (linalg.Vector, error) {
 	meanLoads.Scale(1 / float64(len(w.loads)))
 	inst, err := core.NewInstance(e.rt, meanLoads)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	prior := core.Gravity(inst)
+	var x linalg.Vector
+	var n int
 	if e.cfg.Method == MethodBayesian {
-		return core.Bayesian(inst, prior, e.cfg.Reg)
+		x, n, err = core.BayesianFrom(inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
+	} else {
+		x, n, err = core.EntropyFrom(inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
 	}
-	return core.Entropy(inst, prior, e.cfg.Reg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	e.setWarm(x, nil)
+	return x, n, warmEst != nil, nil
 }
 
-// Latest returns the newest snapshot; ok is false before the first
-// interval has been consumed.
+// Latest returns a deep copy of the newest snapshot; ok is false before
+// the first interval has been consumed.
 func (e *Engine) Latest() (snap Snapshot, ok bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.snap, e.have
+	return e.snap.cloneForRead(), e.have
 }
 
 // WaitVersion blocks until a snapshot with Version >= min is published
-// (returning it) or ctx is done (returning ctx.Err()). WaitVersion(ctx, 0)
-// waits for the first snapshot.
+// (returning a deep copy of it) or ctx is done (returning ctx.Err()).
+// WaitVersion(ctx, 0) waits for the first snapshot.
 func (e *Engine) WaitVersion(ctx context.Context, min uint64) (Snapshot, error) {
 	for {
 		e.mu.RLock()
 		snap, have, ch := e.snap, e.have, e.updateCh
 		e.mu.RUnlock()
 		if have && snap.Version >= min {
-			return snap, nil
+			return snap.cloneForRead(), nil
 		}
 		select {
 		case <-ctx.Done():
