@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke check
 
 build:
 	$(GO) build ./...
@@ -52,8 +52,8 @@ bench-baseline:
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve' -benchtime 1x -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout' -benchtime 1x -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag
@@ -68,5 +68,23 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Pinned to the version and check set CI's check job uses; bump the
+# two together.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 -checks 'SA*' ./...
+
+# Coverage over the library packages, printing the total CI's floor
+# gates on (COVER_FLOOR in .github/workflows/ci.yml; bump it when new
+# tests raise the total, leaving a few points of slack).
+cover:
+	$(GO) test -timeout 30m -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+	@rm -f cover.out
+
+# Fleet serving smoke: boot a 4-tenant tmserve fleet, read every
+# tenant's snapshot, restart from -checkpoint-dir (CI's fleet-smoke job).
+smoke:
+	bash scripts/fleet_smoke.sh
 
 check: vet fmt build docs test-short

@@ -7,12 +7,16 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/linalg"
 	"repro/internal/netsim"
 	"repro/internal/runner"
@@ -471,4 +475,64 @@ func BenchmarkScenarioBuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFleetResolveFanout measures multi-tenant re-solve throughput
+// on the fleet's shared runner pool: 8 single-region tenants (distinct
+// seeds) replay their series concurrently and every tenant's final
+// window must complete a full entropy re-solve. This is the serving
+// path `tmserve -fleet` runs per re-solve wave; the benchdiff gate
+// watches it for scheduler regressions (claim contention, lost
+// wake-ups) as much as solver ones.
+func BenchmarkFleetResolveFanout(b *testing.B) {
+	if testing.Short() {
+		b.Skip("fleet fan-out benchmark is slow; skipping in -short mode")
+	}
+	const tenants, cycles = 8, 4
+	scs := make([]*netsim.Scenario, tenants)
+	for i := range scs {
+		sc, err := netsim.BuildEurope(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		scs[i] = sc
+	}
+	spec := fleet.TenantSpec{
+		Cycles: cycles, Pace: "0", Window: 2, ResolveEvery: cycles,
+		Method: "entropy",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		f := fleet.New(runner.NewPool(0), fleet.Options{})
+		for i, sc := range scs {
+			sc, store := sc, collector.NewStore(scs[i].Net.NumPairs())
+			s := spec
+			s.Name = fmt.Sprintf("t%d", i)
+			if _, err := f.AddFeed(s, sc, fleet.Feed{
+				Store: store,
+				Collect: func(ctx context.Context) error {
+					return collector.Replay(ctx, store, sc.Series, cycles, 0)
+				},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- f.Run(ctx) }()
+		for _, t := range f.Tenants() {
+			for {
+				snap, ok := t.Engine().Latest()
+				if ok && snap.Resolve != nil && snap.ResolveInterval == cycles-1 {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		cancel()
+		<-done
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tenants*b.N)/b.Elapsed().Seconds(), "resolves/s")
 }

@@ -1,40 +1,43 @@
 // Command tmserve is the continuous traffic-matrix estimation daemon: it
-// drives a measurement source — a live simulated collector deployment
-// (UDP agents, distributed pollers, TCP uploads; -mode live) or a
-// deterministic replay of the scenario's demand series (-mode replay) —
-// through the internal/stream engine and serves the evolving estimate
-// over HTTP/JSON. After every consumed polling interval the engine
-// refreshes the incremental gravity estimate; every -resolve-every
-// intervals it schedules a full re-solve (-method entropy|bayes|vardi|
-// fanout) on a dedicated latest-wins worker, so a slow solve never
-// delays ingestion.
+// drives one or many measurement sources through internal/stream engines
+// and serves the evolving estimates over HTTP/JSON. In single-tenant
+// mode (the default) the classic flags pick one scenario and one
+// measurement source — a live simulated collector deployment (UDP
+// agents, distributed pollers, TCP uploads; -mode live) or a
+// deterministic replay of the scenario's demand series (-mode replay).
+// In fleet mode (-fleet config.json) one process shards many tenants —
+// named subnetworks built from the paper's two backbones, scenario-lab
+// families or tmgen files — each with its own engine, store and
+// checkpoint, while all tenants' full re-solves are multiplexed onto one
+// shared worker pool (-parallel) with round-robin fairness
+// (internal/fleet). Single-tenant mode is just a one-tenant fleet, so
+// the two modes behave identically where they overlap.
 //
-// Re-solves are warm-started from the previously published estimate
-// (several times fewer solver iterations on slowly drifting demand —
-// the resolve_iterations / resolve_warm fields of /snapshot and
-// /metrics show it), and the cadence is optionally adaptive:
-// -drift-threshold re-solves immediately when the window mean moves
-// past the threshold, -resolve-max-every lets the cadence back off
-// while the window is steady.
+// After every consumed polling interval an engine refreshes its
+// incremental gravity estimate; every -resolve-every intervals it
+// schedules a full re-solve (-method entropy|bayes|vardi|fanout),
+// warm-started from the previously published estimate, with an
+// optionally adaptive cadence (-drift-threshold, -resolve-max-every;
+// -drift-threshold requires re-solves to be enabled and tmserve rejects
+// the combination with -resolve-every 0 at startup).
 //
-// With -checkpoint the daemon is crash-safe: engine state (window ring,
-// cursor, latest snapshot, metric history) is restored from the file on
-// boot — so a restarted daemon serves its last snapshot immediately
-// instead of going dark while the collector refills — and persisted
-// atomically on every publication and at shutdown. Interval indices
-// identify the stream across restarts: a restarted simulated source
-// renumbers from 0, so the intervals it re-feeds below the restored
-// cursor are deduplicated (an idempotent restart, not a double count)
-// and consumption resumes once it catches back up to the cursor.
+// With -checkpoint (single-tenant file) or -checkpoint-dir (one file
+// per tenant) the daemon is crash-safe: engine state is restored on
+// boot — a restarted daemon serves its last snapshots immediately
+// instead of going dark while collectors refill — and persisted
+// atomically on every publication and at shutdown.
 //
 // Endpoints:
 //
-//	GET /healthz   liveness plus the latest snapshot version
-//	GET /snapshot  latest versioned snapshot (matrices + error metrics);
-//	               ?min_version=N long-polls until version N exists
-//	GET /metrics   estimation-error history (one point per publication)
+//	GET /healthz           liveness plus per-tenant state
+//	GET /tenants           every tenant's status (name, state, version)
+//	GET /t/{name}/snapshot tenant's latest versioned snapshot;
+//	                       ?min_version=N long-polls until version N
+//	GET /t/{name}/metrics  tenant's estimation-error history
+//	GET /snapshot          single-tenant alias of /t/default/snapshot
+//	GET /metrics           single-tenant alias of /t/default/metrics
 //
-// The daemon keeps serving after the collection finishes and shuts down
+// The daemon keeps serving after collections finish and shuts down
 // gracefully on SIGINT/SIGTERM via the usual context plumbing.
 //
 // Usage:
@@ -43,6 +46,7 @@
 //	tmserve -scenario europe.json -mode replay -pace 200ms
 //	tmserve -mode live -pollers 3 -drop 0.02 -speed 0.1
 //	tmserve -checkpoint tm.ckpt -drift-threshold 0.1 -resolve-max-every 12
+//	tmserve -fleet fleet.json -checkpoint-dir ckpt -parallel 8
 package main
 
 import (
@@ -57,12 +61,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/fleet"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 	"repro/internal/stream"
 )
 
@@ -84,6 +90,10 @@ type config struct {
 	sigmaInv2       float64
 	checkpoint      string
 
+	fleetPath     string
+	checkpointDir string
+	parallel      int
+
 	pace    time.Duration // replay
 	pollers int           // live
 	drop    float64       // live
@@ -92,6 +102,12 @@ type config struct {
 	// ready, when non-nil, receives the bound listen address once the
 	// HTTP server is up (used by the end-to-end test with -addr :0).
 	ready chan<- net.Addr
+
+	// set records which flags appeared on the command line (flag.Visit),
+	// so validate can reject single-tenant flags that -fleet would
+	// silently ignore. Nil (as in the in-process tests, which fill the
+	// struct directly) disables that check.
+	set map[string]bool
 }
 
 func main() {
@@ -106,8 +122,11 @@ func main() {
 	flag.Float64Var(&cfg.minCoverage, "min-coverage", 0.9, "LSP coverage fraction required before a closed interval is used")
 	flag.IntVar(&cfg.resolveEvery, "resolve-every", 3, "full re-solve every N intervals; 0 = incremental gravity only")
 	flag.IntVar(&cfg.resolveMaxEvery, "resolve-max-every", 0, "adaptive cadence cap: steady windows back the cadence off up to this (needs -drift-threshold; 0 = fixed cadence)")
-	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "window drift (relative L1 between consecutive window means) that triggers an immediate re-solve; 0 = fixed cadence")
+	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "window drift (relative L1 between consecutive window means) that triggers an immediate re-solve; 0 = fixed cadence; requires -resolve-every > 0")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file: restore engine state on boot, persist it on every publication and at shutdown")
+	flag.StringVar(&cfg.fleetPath, "fleet", "", "fleet config JSON declaring many tenants (multi-tenant mode; replay sources only)")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "per-tenant checkpoint directory: each tenant restores from and persists to <dir>/<name>.ckpt")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "shared re-solve worker pool size across all tenants; 0 = GOMAXPROCS")
 	flag.StringVar(&cfg.method, "method", "entropy", "full re-solve estimator: entropy | bayes | vardi | fanout")
 	flag.Float64Var(&cfg.reg, "reg", 1000, "regularization parameter for entropy/bayes re-solves")
 	flag.Float64Var(&cfg.sigmaInv2, "sigma", 0.01, "sigma^-2 for vardi re-solves")
@@ -116,6 +135,8 @@ func main() {
 	flag.Float64Var(&cfg.drop, "drop", 0.02, "live: per-datagram UDP loss probability")
 	flag.Float64Var(&cfg.speed, "speed", 0.1, "live: simulated minutes per wall millisecond")
 	flag.Parse()
+	cfg.set = make(map[string]bool)
+	flag.Visit(func(fl *flag.Flag) { cfg.set[fl.Name] = true })
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,126 +146,201 @@ func main() {
 	}
 }
 
-// run wires scenario, measurement source, engine and HTTP server, and
-// blocks until ctx is cancelled (clean shutdown, returns nil) or a
-// component fails. Separated from main so the end-to-end test can drive
-// the real daemon in-process.
-func run(ctx context.Context, cfg config, out io.Writer) error {
-	sc, err := loadScenario(cfg)
-	if err != nil {
-		return err
+// validate rejects flag combinations that would otherwise be silently
+// ignored or fail deep inside engine construction with a message that
+// names no flag. It runs before any scenario is built, so a bad command
+// line fails in milliseconds, not after a 100-PoP topology generation.
+func (cfg config) validate() error {
+	if cfg.driftThreshold < 0 {
+		return fmt.Errorf("-drift-threshold %v is negative", cfg.driftThreshold)
 	}
-	engine, err := stream.New(sc.Rt, stream.Config{
-		Window:          cfg.window,
-		MinCoverage:     cfg.minCoverage,
-		ResolveEvery:    cfg.resolveEvery,
+	if cfg.driftThreshold > 0 && cfg.resolveEvery <= 0 {
+		return fmt.Errorf("-drift-threshold %v requires full re-solves: set -resolve-every > 0 (drift can only trigger a re-solve that is enabled)", cfg.driftThreshold)
+	}
+	if cfg.resolveMaxEvery > cfg.resolveEvery && cfg.driftThreshold == 0 {
+		return fmt.Errorf("-resolve-max-every %d backs the cadence off only on a drift signal: set -drift-threshold > 0", cfg.resolveMaxEvery)
+	}
+	if cfg.fleetPath != "" {
+		if cfg.mode == "live" {
+			return fmt.Errorf("-fleet tenants are deterministic replays; -mode live is single-tenant only")
+		}
+		if cfg.checkpoint != "" {
+			return fmt.Errorf("-checkpoint is single-tenant only; with -fleet use -checkpoint-dir")
+		}
+		// Every other single-tenant flag is superseded by the tenant
+		// specs: passing one alongside -fleet would be silently ignored,
+		// which is exactly the class of mistake validate exists to catch.
+		for _, name := range []string{
+			"region", "scenario", "seed", "mode", "cycles", "window",
+			"min-coverage", "resolve-every", "resolve-max-every",
+			"drift-threshold", "method", "reg", "sigma", "pace",
+			"pollers", "drop", "speed",
+		} {
+			if cfg.set[name] {
+				return fmt.Errorf("-%s is single-tenant only and ignored with -fleet; set it per tenant in the fleet config", name)
+			}
+		}
+	}
+	if cfg.checkpoint != "" && cfg.checkpointDir != "" {
+		return fmt.Errorf("-checkpoint and -checkpoint-dir are mutually exclusive")
+	}
+	return nil
+}
+
+// singleTenantSpec maps the classic single-tenant flags onto a fleet
+// tenant named "default", translating the flags' "0 means off"
+// sentinels to the spec's "-1 means off" (0 is "use the default" there).
+func singleTenantSpec(cfg config) (fleet.TenantSpec, error) {
+	spec := fleet.TenantSpec{
+		Name:            "default",
+		Seed:            cfg.seed,
+		Pace:            cfg.pace.String(),
 		ResolveMaxEvery: cfg.resolveMaxEvery,
 		DriftThreshold:  cfg.driftThreshold,
-		Method:          stream.Method(cfg.method),
+		Method:          cfg.method,
 		Reg:             cfg.reg,
 		SigmaInv2:       cfg.sigmaInv2,
-		// The daemon's engine is the store's only consumer, so consumed
-		// intervals can be discarded — this is what keeps -cycles 0
-		// (run forever) at bounded memory.
-		PruneConsumed: true,
-	})
-	if err != nil {
+		Checkpoint:      cfg.checkpoint,
+	}
+	switch {
+	case cfg.scenario != "":
+		spec.Source = "file:" + cfg.scenario
+	case cfg.region == "europe" || cfg.region == "america":
+		spec.Source = cfg.region
+	default:
+		return spec, fmt.Errorf("unknown -region %q (europe or america)", cfg.region)
+	}
+	if cfg.cycles <= 0 {
+		spec.Cycles = -1 // run until interrupted
+	} else {
+		spec.Cycles = cfg.cycles
+	}
+	if cfg.window <= 0 {
+		spec.Window = -1 // expanding
+	} else {
+		spec.Window = cfg.window
+	}
+	if cfg.resolveEvery <= 0 {
+		spec.ResolveEvery = -1 // incremental gravity only
+	} else {
+		spec.ResolveEvery = cfg.resolveEvery
+	}
+	if cfg.minCoverage <= 0 {
+		spec.MinCoverage = 1 // the stream default: full coverage required
+	} else {
+		spec.MinCoverage = cfg.minCoverage
+	}
+	return spec, nil
+}
+
+// run wires tenants, measurement sources, the shared re-solve pool and
+// the HTTP server, and blocks until ctx is cancelled (clean shutdown,
+// returns nil) or a component fails. Separated from main so the
+// end-to-end tests can drive the real daemon in-process.
+func run(ctx context.Context, cfg config, out io.Writer) error {
+	if err := cfg.validate(); err != nil {
 		return err
 	}
-	if cfg.checkpoint != "" {
-		switch cp, err := stream.LoadCheckpoint(cfg.checkpoint); {
-		case err == nil:
-			if err := engine.Restore(cp); err != nil {
-				return fmt.Errorf("restore %s: %w", cfg.checkpoint, err)
-			}
-			if snap, ok := engine.Latest(); ok {
-				fmt.Fprintf(out, "tmserve: restored checkpoint %s (version %d, interval %d) — serving it now\n",
-					cfg.checkpoint, snap.Version, snap.Interval)
-			}
-		case errors.Is(err, os.ErrNotExist):
-			// Fresh start; the persist loop will create the file.
-		default:
-			// A checkpoint that exists but cannot be read is an operator
-			// problem (corruption, version skew): fail loudly rather than
-			// silently discarding the state it was supposed to carry.
+	f := fleet.New(runner.NewPool(cfg.parallel), fleet.Options{
+		CheckpointDir: cfg.checkpointDir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, "tmserve: "+format+"\n", args...)
+		},
+	})
+	single := cfg.fleetPath == ""
+	if single {
+		// The one tenant is fed exactly as the pre-fleet daemon was:
+		// loadScenario keeps the legacy flag semantics to the letter
+		// (-seed 0 really is seed 0, unlike a JSON spec where 0 means
+		// "default"), and the feed is built from the flags directly.
+		spec, err := singleTenantSpec(cfg)
+		if err != nil {
 			return err
 		}
-	}
-
-	cycles := cfg.cycles
-	if cycles <= 0 {
-		cycles = int(^uint(0) >> 1) // run until interrupted
-	}
-	var store *collector.Store
-	var collect func(context.Context) error
-	switch cfg.mode {
-	case "replay":
-		store = collector.NewStore(sc.Net.NumPairs())
-		collect = func(ctx context.Context) error {
-			return collector.Replay(ctx, store, sc.Series, cycles, cfg.pace)
+		sc, err := loadScenario(cfg)
+		if err != nil {
+			return err
 		}
-	case "live":
-		d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
-			Pollers:         cfg.pollers,
-			DropProb:        cfg.drop,
-			MinutesPerMilli: cfg.speed,
-			StepMinutes:     sc.Series.Cfg.StepMinutes,
-			Seed:            cfg.seed,
-		})
-		store = d.Store
-		collect = func(ctx context.Context) error { return d.RunContext(ctx, cycles) }
-	default:
-		return fmt.Errorf("unknown -mode %q (replay or live)", cfg.mode)
+		cycles := cfg.cycles
+		if cycles <= 0 {
+			cycles = int(^uint(0) >> 1) // run until interrupted
+		}
+		var feed fleet.Feed
+		switch cfg.mode {
+		case "live":
+			d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
+				Pollers:         cfg.pollers,
+				DropProb:        cfg.drop,
+				MinutesPerMilli: cfg.speed,
+				StepMinutes:     sc.Series.Cfg.StepMinutes,
+				Seed:            cfg.seed,
+			})
+			feed = fleet.Feed{
+				Store:   d.Store,
+				Collect: func(ctx context.Context) error { return d.RunContext(ctx, cycles) },
+			}
+		case "replay":
+			store := collector.NewStore(sc.Net.NumPairs())
+			feed = fleet.Feed{
+				Store: store,
+				Collect: func(ctx context.Context) error {
+					return collector.Replay(ctx, store, sc.Series, cycles, cfg.pace)
+				},
+			}
+		default:
+			return fmt.Errorf("unknown -mode %q (replay or live)", cfg.mode)
+		}
+		if _, err := f.AddFeed(spec, sc, feed); err != nil {
+			return err
+		}
+	} else {
+		fc, err := fleet.LoadConfig(cfg.fleetPath)
+		if err != nil {
+			return err
+		}
+		for _, spec := range fc.Tenants {
+			if _, err := f.Add(spec); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := f.RestoreAll(); err != nil {
+		return err
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "tmserve: %s scenario %s (%d PoPs, %d LSPs), %s mode, window %d, %s re-solve every %d\n",
-		sc.Region, ln.Addr(), sc.Net.NumPoPs(), sc.Net.NumPairs(), cfg.mode, cfg.window, cfg.method, cfg.resolveEvery)
+	for _, t := range f.Tenants() {
+		sc := t.Scenario()
+		fmt.Fprintf(out, "tmserve: tenant %s: %s (%d PoPs, %d LSPs), %s re-solves\n",
+			t.Name(), sc.Region, sc.Net.NumPoPs(), sc.Net.NumPairs(), t.Spec().Method)
+	}
+	fmt.Fprintf(out, "tmserve: serving %d tenant(s) on %s (%d shared re-solve workers)\n",
+		len(f.Tenants()), ln.Addr(), f.Pool().Workers())
 	if cfg.ready != nil {
 		cfg.ready <- ln.Addr()
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var wg sync.WaitGroup
-	fail := make(chan error, 2)
-
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := engine.Run(runCtx, store); err != nil && !errors.Is(err, context.Canceled) {
-			fail <- fmt.Errorf("engine: %w", err)
-		}
-	}()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := collect(runCtx); err != nil && !errors.Is(err, context.Canceled) {
-			fail <- fmt.Errorf("collect: %w", err)
-			return
-		}
-		fmt.Fprintf(out, "tmserve: collection finished; serving last snapshot until interrupted\n")
-	}()
-	if cfg.checkpoint != "" {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			persistLoop(runCtx, engine, cfg.checkpoint, out)
-		}()
-	}
-
-	srv := &http.Server{Handler: newHandler(runCtx, engine)}
+	fleetDone := make(chan error, 1)
+	go func() { fleetDone <- f.Run(runCtx) }()
+	srv := &http.Server{Handler: newHandler(runCtx, f, single)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	var runErr error
+	fleetStopped := false
 	select {
 	case <-ctx.Done():
 		runErr = ctx.Err()
-	case err := <-fail:
+	case err := <-fleetDone:
+		// The fleet exits early only on startup-grade failures (e.g. an
+		// unwritable checkpoint directory); serving without estimation
+		// would be lying to clients, so shut down.
+		fleetStopped = true
 		runErr = err
 	case err := <-serveErr:
 		runErr = err
@@ -253,44 +349,10 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	_ = srv.Shutdown(shutCtx)
-	wg.Wait()
-	if cfg.checkpoint != "" {
-		// Final save after the engine has fully stopped, so the file holds
-		// the very last published state, not a mid-shutdown one.
-		saveCheckpoint(engine, cfg.checkpoint, out)
+	if !fleetStopped {
+		<-fleetDone // the fleet's final SaveAll has then completed
 	}
 	return runErr
-}
-
-// persistLoop writes a checkpoint after every publication (long-polling
-// the next version, so bursts coalesce into one save per loop turn) and
-// once more when the daemon shuts down. A failed save is reported and
-// retried on the next publication — persistence trouble must not take
-// the estimation service down.
-func persistLoop(ctx context.Context, engine *stream.Engine, path string, out io.Writer) {
-	var seen uint64
-	if snap, ok := engine.Latest(); ok {
-		// Persist whatever is already published before waiting: with a
-		// fast source the stream may have gone quiescent before this
-		// loop started, and waiting for the *next* version would leave
-		// the state unsaved until shutdown.
-		seen = snap.Version
-		saveCheckpoint(engine, path, out)
-	}
-	for {
-		snap, err := engine.WaitVersion(ctx, seen+1)
-		if err != nil {
-			return // shutting down; run() does the final save
-		}
-		seen = snap.Version
-		saveCheckpoint(engine, path, out)
-	}
-}
-
-func saveCheckpoint(engine *stream.Engine, path string, out io.Writer) {
-	if err := stream.SaveCheckpoint(path, engine.Checkpoint()); err != nil {
-		fmt.Fprintf(out, "tmserve: checkpoint save: %v\n", err)
-	}
 }
 
 func loadScenario(cfg config) (*netsim.Scenario, error) {
@@ -306,60 +368,107 @@ func loadScenario(cfg config) (*netsim.Scenario, error) {
 	return nil, fmt.Errorf("unknown -region %q (europe or america)", cfg.region)
 }
 
-// newHandler builds the HTTP API over an engine. Long-polls abort when
+// newHandler builds the HTTP API over a fleet. Long-polls abort when
 // runCtx is cancelled, so active handlers never hold srv.Shutdown to
-// its timeout during the daemon's graceful shutdown.
-func newHandler(runCtx context.Context, e *stream.Engine) http.Handler {
+// its timeout during the daemon's graceful shutdown. In single-tenant
+// mode the classic /snapshot and /metrics endpoints alias the one
+// tenant, byte-compatible with the pre-fleet daemon.
+func newHandler(runCtx context.Context, f *fleet.Fleet, single bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		snap, ok := e.Latest()
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "have_snapshot": ok, "version": snap.Version})
+		resp := map[string]any{"ok": f.Healthy(), "tenants": f.Statuses()}
+		if single {
+			version, _, ok := f.Tenants()[0].Engine().Position()
+			resp["have_snapshot"] = ok
+			resp["version"] = version
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		if mv := r.URL.Query().Get("min_version"); mv != "" {
-			min, err := strconv.ParseUint(mv, 10, 64)
-			if err != nil {
-				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad min_version"})
-				return
-			}
-			// Long poll, bounded so an abandoned stream cannot pin the
-			// handler forever, and released early on daemon shutdown.
-			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-			defer cancel()
-			defer context.AfterFunc(runCtx, cancel)()
-			snap, err := e.WaitVersion(ctx, min)
-			if err != nil {
-				// Three distinct release causes, three distinct answers:
-				// a vanished client gets nothing (writing a body to a
-				// dead connection just burns a broken-pipe error), a
-				// shutting-down daemon says so with 503, and only a
-				// genuine bounded-wait expiry is the long-poll timeout
-				// 504. The order matters — during shutdown the client
-				// may well be gone too, and skipping the write wins.
-				switch {
-				case r.Context().Err() != nil:
-					// Client disconnected (or its own deadline fired).
-				case runCtx.Err() != nil:
-					writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "daemon shutting down"})
-				default:
-					writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": "timed out waiting for version"})
-				}
-				return
-			}
-			writeJSON(w, http.StatusOK, snap)
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": f.Statuses()})
+	})
+	// Tenant-scoped routes. Path patterns with wildcards need Go 1.22's
+	// mux; this repo still builds on 1.21, so the prefix is split by hand.
+	mux.HandleFunc("/t/", func(w http.ResponseWriter, r *http.Request) {
+		name, endpoint, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/t/"), "/")
+		if !ok {
+			// /t/eu without an endpoint: the tenant may well exist, so
+			// say what is actually missing instead of "unknown tenant".
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("missing endpoint: /t/%s/snapshot or /t/%s/metrics", name, name)})
 			return
 		}
-		snap, ok := e.Latest()
-		if !ok {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot yet"})
+		t, have := f.Tenant(name)
+		if !have {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown tenant %q (see /tenants)", name)})
+			return
+		}
+		switch endpoint {
+		case "snapshot":
+			serveSnapshot(runCtx, t.Engine(), w, r)
+		case "metrics":
+			serveMetrics(t.Engine(), w)
+		default:
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown endpoint %q (snapshot or metrics)", endpoint)})
+		}
+	})
+	if single {
+		e := f.Tenants()[0].Engine()
+		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			serveSnapshot(runCtx, e, w, r)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			serveMetrics(e, w)
+		})
+	}
+	return mux
+}
+
+// serveSnapshot answers one snapshot request over an engine, including
+// the ?min_version long-poll.
+func serveSnapshot(runCtx context.Context, e *stream.Engine, w http.ResponseWriter, r *http.Request) {
+	if mv := r.URL.Query().Get("min_version"); mv != "" {
+		min, err := strconv.ParseUint(mv, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad min_version"})
+			return
+		}
+		// Long poll, bounded so an abandoned stream cannot pin the
+		// handler forever, and released early on daemon shutdown.
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		defer context.AfterFunc(runCtx, cancel)()
+		snap, err := e.WaitVersion(ctx, min)
+		if err != nil {
+			// Three distinct release causes, three distinct answers:
+			// a vanished client gets nothing (writing a body to a
+			// dead connection just burns a broken-pipe error), a
+			// shutting-down daemon says so with 503, and only a
+			// genuine bounded-wait expiry is the long-poll timeout
+			// 504. The order matters — during shutdown the client
+			// may well be gone too, and skipping the write wins.
+			switch {
+			case r.Context().Err() != nil:
+				// Client disconnected (or its own deadline fired).
+			case runCtx.Err() != nil:
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "daemon shutting down"})
+			default:
+				writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": "timed out waiting for version"})
+			}
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
-	})
-	return mux
+		return
+	}
+	snap, ok := e.Latest()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func serveMetrics(e *stream.Engine, w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -16,11 +16,33 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/collector"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/linalg"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 	"repro/internal/stream"
 )
+
+// handlerFleet builds a one-tenant fleet around an idle feed (never
+// run), so handler behavior before any data — and during shutdown — can
+// be tested without a collection.
+func handlerFleet(t *testing.T) *fleet.Fleet {
+	t.Helper()
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fleet.New(runner.NewPool(1), fleet.Options{})
+	if _, err := f.AddFeed(fleet.TenantSpec{Name: "default"}, sc, fleet.Feed{
+		Store:   collector.NewStore(sc.Net.NumPairs()),
+		Collect: func(context.Context) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
 
 // startServer runs the daemon in-process on an ephemeral port and returns
 // its base URL plus a shutdown function that asserts a clean exit.
@@ -225,17 +247,9 @@ func TestEndToEndLive(t *testing.T) {
 // must stay OK, and a pending long-poll must be released promptly when
 // the daemon's run context is cancelled (the graceful-shutdown path).
 func TestAPIBeforeFirstSnapshot(t *testing.T) {
-	sc, err := netsim.BuildEurope(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	engine, err := stream.New(sc.Rt, stream.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
-	srv := httptest.NewServer(newHandler(runCtx, engine))
+	srv := httptest.NewServer(newHandler(runCtx, handlerFleet(t), true))
 	defer srv.Close()
 
 	var e struct {
@@ -292,17 +306,9 @@ func TestAPIBeforeFirstSnapshot(t *testing.T) {
 // writing anything to the dead connection — previously it produced the
 // same 504 + JSON body as a genuine timeout.
 func TestLongPollClientDisconnect(t *testing.T) {
-	sc, err := netsim.BuildEurope(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	engine, err := stream.New(sc.Rt, stream.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
-	handler := newHandler(runCtx, engine)
+	handler := newHandler(runCtx, handlerFleet(t), true)
 
 	reqCtx, cancelReq := context.WithCancel(context.Background())
 	req := httptest.NewRequest("GET", "/snapshot?min_version=1", nil).WithContext(reqCtx)
@@ -412,5 +418,268 @@ func TestCheckpointRestart(t *testing.T) {
 	}
 	if code := getJSON(t, base2+"/healthz", &health); code != http.StatusOK || !health.OK || !health.Have {
 		t.Fatalf("restarted healthz: code=%d ok=%v have=%v", code, health.OK, health.Have)
+	}
+}
+
+// TestFlagValidation covers the startup rejection of flag combinations
+// that used to fail late (after the scenario build, with an error naming
+// no flag) or not at all: -drift-threshold with re-solves disabled must
+// be refused before any topology is generated, with an error that names
+// both flags involved.
+func TestFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		what string
+		cfg  config
+		want []string // substrings the error must carry
+	}{
+		{
+			what: "drift threshold with re-solves disabled",
+			cfg:  config{driftThreshold: 0.1, resolveEvery: 0},
+			want: []string{"-drift-threshold", "-resolve-every"},
+		},
+		{
+			what: "negative drift threshold",
+			cfg:  config{driftThreshold: -1, resolveEvery: 3},
+			want: []string{"-drift-threshold"},
+		},
+		{
+			what: "cadence back-off without a drift signal",
+			cfg:  config{resolveEvery: 3, resolveMaxEvery: 12},
+			want: []string{"-resolve-max-every", "-drift-threshold"},
+		},
+		{
+			what: "fleet with live mode",
+			cfg:  config{fleetPath: "fleet.json", mode: "live", resolveEvery: 3},
+			want: []string{"-fleet", "-mode live"},
+		},
+		{
+			what: "fleet with single-tenant checkpoint",
+			cfg:  config{fleetPath: "fleet.json", checkpoint: "tm.ckpt", resolveEvery: 3},
+			want: []string{"-checkpoint-dir"},
+		},
+		{
+			what: "checkpoint file and dir together",
+			cfg:  config{checkpoint: "tm.ckpt", checkpointDir: "ckpt", resolveEvery: 3},
+			want: []string{"-checkpoint", "-checkpoint-dir"},
+		},
+		{
+			what: "explicitly set single-tenant flag with -fleet",
+			cfg: config{fleetPath: "fleet.json", method: "vardi", resolveEvery: 3,
+				set: map[string]bool{"method": true}},
+			want: []string{"-method", "fleet config"},
+		},
+	}
+	for _, tc := range cases {
+		err := run(ctx, tc.cfg, io.Discard)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.what)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not name %s", tc.what, err, want)
+			}
+		}
+	}
+	// The guard must fire from flag parsing to error without building a
+	// scenario: a sub-second run() on a config whose scenario (a 150-PoP
+	// generated backbone) takes far longer than that to build proves it.
+	t0 := time.Now()
+	err := run(ctx, config{region: "europe", scenario: "", driftThreshold: 0.1, resolveEvery: 0,
+		mode: "replay", cycles: 4}, io.Discard)
+	if err == nil {
+		t.Fatal("bad combination accepted")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("validation took %v; it must reject before doing real work", d)
+	}
+}
+
+// writeFleetConfig writes a 4-tenant fleet config for the e2e tests:
+// mixed sources and sizes, every tenant finishing its replay quickly.
+func writeFleetConfig(t *testing.T, path string) []string {
+	t.Helper()
+	cfg := fleet.Config{
+		Format: fleet.ConfigFormat,
+		Tenants: []fleet.TenantSpec{
+			{Name: "eu", Source: "europe", Cycles: 6, Pace: "0", Window: 3, ResolveEvery: 3, ResolveMaxIter: 4000, ResolveTol: 1e-5},
+			{Name: "us", Source: "america", Cycles: 6, Pace: "0", Window: 3, ResolveEvery: 3, ResolveMaxIter: 4000, ResolveTol: 1e-5},
+			{Name: "lab-noisy", Source: "scenario:noisy:europe:0.05", Cycles: 6, Pace: "0", Window: 3, ResolveEvery: 3, ResolveMaxIter: 4000, ResolveTol: 1e-5},
+			{Name: "lab-16", Source: "scenario:scaled:16", Cycles: 6, Pace: "0", Window: 3, ResolveEvery: 3, ResolveMaxIter: 4000, ResolveTol: 1e-5},
+		},
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(cfg.Tenants))
+	for i, ten := range cfg.Tenants {
+		names[i] = ten.Name
+	}
+	return names
+}
+
+// TestEndToEndFleet boots a 4-tenant fleet daemon, waits for every
+// tenant to finish its replay and publish a re-solve, exercises the
+// tenant-scoped routes (/tenants, /t/{name}/snapshot, /t/{name}/metrics,
+// unknown-tenant 404), kills the daemon, and restarts it against the
+// same -checkpoint-dir with an hour-long pace: every restored tenant
+// must serve its snapshot immediately.
+func TestEndToEndFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet end-to-end run is slow; skipped in -short")
+	}
+	dir := t.TempDir()
+	fleetPath := filepath.Join(dir, "fleet.json")
+	ckptDir := filepath.Join(dir, "ckpt")
+	names := writeFleetConfig(t, fleetPath)
+
+	base, shutdown := startServer(t, config{
+		fleetPath: fleetPath, checkpointDir: ckptDir,
+		mode: "replay", resolveEvery: 3, // single-tenant flags that must be ignored cleanly
+	})
+
+	// /snapshot and /metrics must NOT exist in fleet mode (they are the
+	// single-tenant aliases); tenants are addressed under /t/.
+	resp, err := http.Get(base + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/snapshot in fleet mode gave %d, want 404", resp.StatusCode)
+	}
+
+	// Wait until every tenant is serving its final window + re-solve.
+	finals := make(map[string]stream.Snapshot, len(names))
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, name := range names {
+		for {
+			var snap stream.Snapshot
+			code := getJSON(t, fmt.Sprintf("%s/t/%s/snapshot", base, name), &snap)
+			if code == http.StatusOK && snap.Interval == 5 && snap.Resolve != nil && snap.ResolveInterval == 5 {
+				finals[name] = snap
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %s never quiesced (last code %d)", name, code)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var m struct {
+			Points []stream.MetricPoint `json:"points"`
+		}
+		if code := getJSON(t, fmt.Sprintf("%s/t/%s/metrics", base, name), &m); code != http.StatusOK || len(m.Points) < 6 {
+			t.Fatalf("tenant %s metrics: code %d, %d points", name, code, len(m.Points))
+		}
+	}
+
+	// Fleet-wide views: /tenants lists all four serving tenants, and
+	// /healthz reports per-tenant state with the fleet healthy.
+	var tl struct {
+		Tenants []fleet.Status `json:"tenants"`
+	}
+	if code := getJSON(t, base+"/tenants", &tl); code != http.StatusOK || len(tl.Tenants) != len(names) {
+		t.Fatalf("/tenants: code %d, %d tenants", code, len(tl.Tenants))
+	}
+	for _, st := range tl.Tenants {
+		if st.State != fleet.StateServing || !st.HaveSnapshot {
+			t.Fatalf("tenant %s: state %s, have_snapshot %v after replay end", st.Name, st.State, st.HaveSnapshot)
+		}
+	}
+	var health struct {
+		OK      bool           `json:"ok"`
+		Tenants []fleet.Status `json:"tenants"`
+	}
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK || !health.OK || len(health.Tenants) != len(names) {
+		t.Fatalf("healthz: code=%d ok=%v tenants=%d", code, health.OK, len(health.Tenants))
+	}
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, base+"/t/nosuch/snapshot", &e); code != http.StatusNotFound || !strings.Contains(e.Error, "nosuch") {
+		t.Fatalf("unknown tenant gave code %d error %q", code, e.Error)
+	}
+	if code := getJSON(t, base+"/t/eu/teapot", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant endpoint gave code %d", code)
+	}
+	// /t/eu without an endpoint names the missing endpoint, not a
+	// (nonexistent) unknown tenant.
+	if code := getJSON(t, base+"/t/eu", &e); code != http.StatusNotFound || !strings.Contains(e.Error, "missing endpoint") {
+		t.Fatalf("endpointless tenant path gave code %d error %q", code, e.Error)
+	}
+
+	shutdown()
+	for _, name := range names {
+		if _, err := os.Stat(filepath.Join(ckptDir, name+".ckpt")); err != nil {
+			t.Fatalf("tenant %s left no checkpoint: %v", name, err)
+		}
+	}
+
+	// Restart against the same checkpoint dir, paced so slowly nothing
+	// new can land: every tenant must serve its restored snapshot on the
+	// first request.
+	writeSlowFleetConfig(t, fleetPath)
+	base2, shutdown2 := startServer(t, config{
+		fleetPath: fleetPath, checkpointDir: ckptDir,
+		mode: "replay", resolveEvery: 3,
+	})
+	defer shutdown2()
+	for _, name := range names {
+		var restored stream.Snapshot
+		if code := getJSON(t, fmt.Sprintf("%s/t/%s/snapshot", base2, name), &restored); code != http.StatusOK {
+			t.Fatalf("restarted tenant %s dark: code %d, want 200 immediately", name, code)
+		}
+		want := finals[name]
+		if restored.Version < want.Version || restored.Interval != want.Interval {
+			t.Fatalf("tenant %s restored version %d interval %d, want >= %d / %d",
+				name, restored.Version, restored.Interval, want.Version, want.Interval)
+		}
+		if restored.Resolve == nil {
+			t.Fatalf("tenant %s lost its re-solve across the restart", name)
+		}
+		for p := range want.Mean {
+			if restored.Mean[p] != want.Mean[p] {
+				t.Fatalf("tenant %s restored mean differs at demand %d", name, p)
+			}
+		}
+	}
+	var tl2 struct {
+		Tenants []fleet.Status `json:"tenants"`
+	}
+	getJSON(t, base2+"/tenants", &tl2)
+	for _, st := range tl2.Tenants {
+		if !st.Restored {
+			t.Fatalf("tenant %s status does not report the restore", st.Name)
+		}
+	}
+}
+
+// writeSlowFleetConfig rewrites the fleet config with an hour-long pace
+// so the restarted daemon cannot consume anything new during the test.
+func writeSlowFleetConfig(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fleet.ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Tenants {
+		cfg.Tenants[i].Pace = "1h"
+	}
+	out, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

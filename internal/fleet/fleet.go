@@ -1,0 +1,666 @@
+// Package fleet shards many independent estimation engines behind one
+// process: each tenant is a named subnetwork — one of the paper's two
+// backbones, a scenario-lab instance, or a tmgen scenario file — with
+// its own collector store, its own stream.Engine and its own checkpoint
+// file, while every tenant's full re-solves are multiplexed onto one
+// shared runner.Pool. The paper estimates traffic matrices per
+// subnetwork (its two backbones are instances of a family); the fleet
+// is the serving layer that operates many such subnetworks at once,
+// which is what cmd/tmserve's -fleet mode exposes over HTTP.
+//
+// Scheduling is fair by construction: engines park scheduled re-solves
+// (stream.Config.ResolveDispatch) instead of solving, and the fleet's
+// scheduler claims parked work round-robin across tenants with at most
+// one solve in flight per tenant — so a drifting 150-PoP tenant queues
+// behind its own previous solve, never ahead of a small tenant's first.
+// Claimed solves run on pool helper slots when one is free and on the
+// claiming goroutine otherwise, the same caller-participates discipline
+// as runner.Pool.ForEach.
+//
+// Lifecycle is aggregated: Run starts every tenant's collection,
+// ingestion and checkpoint persistence and blocks until the context is
+// done; RestoreAll restores every tenant from its checkpoint file under
+// one directory before Run; SaveAll persists every tenant, and Run does
+// a final SaveAll after the engines have stopped.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/netsim"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/stream"
+	"repro/internal/traffic"
+)
+
+// Feed is one tenant's measurement feed: the store its records land in
+// and the collection that fills it. Replay tenants get one built from
+// their spec; AddFeed lets a host (tmserve's live mode) supply its own.
+type Feed struct {
+	Store *collector.Store
+	// Collect fills Store until the source is exhausted (return nil) or
+	// ctx is done (return ctx.Err()).
+	Collect func(ctx context.Context) error
+}
+
+// TenantState is the lifecycle phase /healthz reports per tenant.
+type TenantState string
+
+const (
+	// StateIdle: added but Run has not started yet.
+	StateIdle TenantState = "idle"
+	// StateRunning: collection in progress, snapshots evolving.
+	StateRunning TenantState = "running"
+	// StateServing: collection finished; the last snapshot is served
+	// until the fleet stops.
+	StateServing TenantState = "serving"
+	// StateFailed: the tenant's engine or collection failed. Other
+	// tenants are unaffected; the error is in Status.Error.
+	StateFailed TenantState = "failed"
+)
+
+// Tenant is one hosted subnetwork: spec, scenario, engine, feed, state.
+type Tenant struct {
+	spec TenantSpec
+	sc   *netsim.Scenario
+	eng  *stream.Engine
+	feed Feed
+
+	mu       sync.Mutex
+	state    TenantState
+	err      error
+	restored bool
+}
+
+// Name returns the tenant's unique name.
+func (t *Tenant) Name() string { return t.spec.Name }
+
+// Spec returns the spec the tenant was added with.
+func (t *Tenant) Spec() TenantSpec { return t.spec }
+
+// Engine exposes the tenant's estimation engine for reading (Latest,
+// WaitVersion, Metrics). Lifecycle stays with the fleet.
+func (t *Tenant) Engine() *stream.Engine { return t.eng }
+
+// Scenario returns the subnetwork the tenant estimates over.
+func (t *Tenant) Scenario() *netsim.Scenario { return t.sc }
+
+func (t *Tenant) setState(s TenantState) {
+	t.mu.Lock()
+	if t.state != StateFailed { // a failure is terminal
+		t.state = s
+	}
+	t.mu.Unlock()
+}
+
+// fail marks the tenant failed, reporting whether this call was the
+// transition (a tenant can lose both its engine and its collection;
+// only the first error sticks and counts).
+func (t *Tenant) fail(err error) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == StateFailed {
+		return false
+	}
+	t.state = StateFailed
+	t.err = err
+	return true
+}
+
+// Status is the JSON shape /tenants and /healthz serve per tenant.
+type Status struct {
+	Name     string      `json:"name"`
+	Source   string      `json:"source"`
+	State    TenantState `json:"state"`
+	Error    string      `json:"error,omitempty"`
+	PoPs     int         `json:"pops"`
+	Pairs    int         `json:"pairs"`
+	Method   string      `json:"method"`
+	Restored bool        `json:"restored"`
+	// HaveSnapshot/Version/Interval mirror the engine's latest snapshot.
+	HaveSnapshot bool   `json:"have_snapshot"`
+	Version      uint64 `json:"version"`
+	Interval     int    `json:"interval"`
+}
+
+// Status reports the tenant's current lifecycle and snapshot position.
+func (t *Tenant) Status() Status {
+	t.mu.Lock()
+	st, terr, restored := t.state, t.err, t.restored
+	t.mu.Unlock()
+	s := Status{
+		Name:     t.spec.Name,
+		Source:   t.spec.Source,
+		State:    st,
+		PoPs:     t.sc.Net.NumPoPs(),
+		Pairs:    t.sc.Net.NumPairs(),
+		Method:   t.spec.Method,
+		Restored: restored,
+	}
+	if terr != nil {
+		s.Error = terr.Error()
+	}
+	if version, interval, ok := t.eng.Position(); ok {
+		s.HaveSnapshot = true
+		s.Version = version
+		s.Interval = interval
+	}
+	return s
+}
+
+// Options tunes a Fleet.
+type Options struct {
+	// CheckpointDir, when non-empty, gives every tenant a checkpoint
+	// file <dir>/<name>.ckpt (unless its spec overrides the path):
+	// RestoreAll reads them, Run persists them on every publication and
+	// once more at shutdown. The directory is created if missing.
+	CheckpointDir string
+	// Logf receives per-tenant lifecycle messages (restore, collection
+	// finished, checkpoint trouble). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Fleet hosts many tenants over one shared re-solve pool. Create with
+// New, declare tenants with Add/AddFeed, optionally RestoreAll, then
+// Run once.
+type Fleet struct {
+	pool    *runner.Pool
+	opts    Options
+	started atomic.Bool
+
+	mu       sync.Mutex
+	tenants  []*Tenant
+	byName   map[string]*Tenant
+	inflight map[string]bool // per-tenant in-flight cap: one solve each
+	rr       int             // round-robin claim cursor
+
+	kick chan struct{} // coalesced "work parked" wake-ups
+}
+
+// New creates an empty fleet multiplexing re-solves onto pool.
+func New(pool *runner.Pool, opts Options) *Fleet {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Fleet{
+		pool:     pool,
+		opts:     opts,
+		byName:   make(map[string]*Tenant),
+		inflight: make(map[string]bool),
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// Pool returns the shared re-solve pool.
+func (f *Fleet) Pool() *runner.Pool { return f.pool }
+
+// Add materializes a tenant from its spec: the source is built (or
+// loaded), the engine created in dispatch mode, and a deterministic
+// replay feed attached. Must be called before Run.
+func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
+	sc, series, err := buildSource(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	pace, err := spec.pace()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	if spec.Cycles < -1 {
+		return nil, fmt.Errorf("fleet: tenant %q: cycles %d out of range (>= -1)", spec.Name, spec.Cycles)
+	}
+	cycles := spec.cycles()
+	store := collector.NewStore(sc.Net.NumPairs())
+	feed := Feed{
+		Store: store,
+		Collect: func(ctx context.Context) error {
+			return collector.Replay(ctx, store, series, cycles, pace)
+		},
+	}
+	return f.add(spec, sc, feed)
+}
+
+// AddFeed declares a tenant over a caller-supplied measurement feed —
+// tmserve's live UDP/TCP deployment mode. The spec's Source/Seed/
+// Cycles/Pace fields are documentation only here; the feed rules.
+func (f *Fleet) AddFeed(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenant, error) {
+	if feed.Store == nil || feed.Collect == nil {
+		return nil, fmt.Errorf("fleet: tenant %q: feed needs both a store and a collect function", spec.Name)
+	}
+	return f.add(spec, sc, feed)
+}
+
+func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenant, error) {
+	if f.started.Load() {
+		return nil, fmt.Errorf("fleet: Add after Run")
+	}
+	if !nameRe.MatchString(spec.Name) {
+		return nil, fmt.Errorf("fleet: tenant name %q is not a [A-Za-z0-9._-]+ identifier", spec.Name)
+	}
+	cfg, err := streamConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ResolveDispatch = f.kickScheduler
+	eng, err := stream.New(sc.Rt, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	// Echo the engine's effective method back into the spec, so Status
+	// (and hosts printing banners) report "entropy", not "".
+	spec.Method = string(cfg.Method)
+	t := &Tenant{spec: spec, sc: sc, eng: eng, feed: feed, state: StateIdle}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.byName[spec.Name] != nil {
+		return nil, fmt.Errorf("fleet: duplicate tenant name %q", spec.Name)
+	}
+	f.tenants = append(f.tenants, t)
+	f.byName[spec.Name] = t
+	return t, nil
+}
+
+// streamConfig maps a spec onto stream.Config, translating the spec's
+// "-1 means off" sentinels (0 is taken by "use the default").
+func streamConfig(spec TenantSpec) (stream.Config, error) {
+	cfg := stream.Config{
+		Window:          6,
+		MinCoverage:     0.9,
+		ResolveEvery:    3,
+		ResolveMaxEvery: spec.ResolveMaxEvery,
+		DriftThreshold:  spec.DriftThreshold,
+		Method:          stream.MethodEntropy,
+		Reg:             spec.Reg,
+		SigmaInv2:       spec.SigmaInv2,
+		ResolveMaxIter:  spec.ResolveMaxIter,
+		ResolveTol:      spec.ResolveTol,
+		// Each tenant's engine is its store's only consumer, so consumed
+		// intervals are discarded — endless tenants hold O(window) state.
+		PruneConsumed: true,
+	}
+	switch {
+	case spec.Window > 0:
+		cfg.Window = spec.Window
+	case spec.Window == -1:
+		cfg.Window = 0 // expanding
+	case spec.Window < -1:
+		return cfg, fmt.Errorf("fleet: tenant %q: window %d out of range (>= -1)", spec.Name, spec.Window)
+	}
+	switch {
+	case spec.ResolveEvery > 0:
+		cfg.ResolveEvery = spec.ResolveEvery
+	case spec.ResolveEvery == -1:
+		cfg.ResolveEvery = 0 // incremental gravity only
+	case spec.ResolveEvery < -1:
+		return cfg, fmt.Errorf("fleet: tenant %q: resolve_every %d out of range (>= -1)", spec.Name, spec.ResolveEvery)
+	}
+	if spec.MinCoverage > 0 {
+		cfg.MinCoverage = spec.MinCoverage
+	}
+	if spec.Method != "" {
+		cfg.Method = stream.Method(spec.Method)
+	}
+	return cfg, nil
+}
+
+// buildSource resolves a spec's Source string into a scenario and the
+// demand series its replay feeds.
+func buildSource(spec TenantSpec) (*netsim.Scenario, *traffic.Series, error) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	src := spec.Source
+	if src == "" {
+		src = "europe"
+	}
+	switch {
+	case src == "europe":
+		sc, err := netsim.BuildEurope(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sc, sc.Series, nil
+	case src == "america":
+		sc, err := netsim.BuildAmerica(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sc, sc.Series, nil
+	case strings.HasPrefix(src, "scenario:"):
+		in, err := scenario.Build(strings.TrimPrefix(src, "scenario:"), seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The busy evaluation window, so the streaming window mean
+		// converges to the instance's ground truth.
+		return in.Sc, in.BusySeries(), nil
+	case strings.HasPrefix(src, "file:"):
+		sc, err := netsim.LoadFile(strings.TrimPrefix(src, "file:"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return sc, sc.Series, nil
+	}
+	return nil, nil, fmt.Errorf("source %q is not europe, america, scenario:<spec> or file:<path>", src)
+}
+
+// Tenants returns the tenants in declaration order.
+func (f *Fleet) Tenants() []*Tenant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Tenant, len(f.tenants))
+	copy(out, f.tenants)
+	return out
+}
+
+// Tenant looks a tenant up by name.
+func (f *Fleet) Tenant(name string) (*Tenant, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t, ok := f.byName[name]
+	return t, ok
+}
+
+// checkpointPath resolves a tenant's checkpoint file; "" disables it.
+func (f *Fleet) checkpointPath(t *Tenant) string {
+	if t.spec.Checkpoint != "" {
+		return t.spec.Checkpoint
+	}
+	if f.opts.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(f.opts.CheckpointDir, t.spec.Name+".ckpt")
+}
+
+// RestoreAll restores every checkpointed tenant from its file, before
+// Run: a missing file is a fresh start, an unreadable or mismatched one
+// is an operator problem and fails loudly (naming the tenant) rather
+// than silently discarding state. Returns how many tenants restored.
+func (f *Fleet) RestoreAll() (int, error) {
+	restored := 0
+	for _, t := range f.Tenants() {
+		path := f.checkpointPath(t)
+		if path == "" {
+			continue
+		}
+		cp, err := stream.LoadCheckpoint(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return restored, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err)
+		}
+		if err := t.eng.Restore(cp); err != nil {
+			return restored, fmt.Errorf("fleet: tenant %q: restore %s: %w", t.spec.Name, path, err)
+		}
+		t.mu.Lock()
+		t.restored = true
+		t.mu.Unlock()
+		if snap, ok := t.eng.Latest(); ok {
+			f.opts.Logf("tenant %s: restored checkpoint %s (version %d, interval %d) — serving it now",
+				t.spec.Name, path, snap.Version, snap.Interval)
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// SaveAll checkpoints every checkpointed tenant now. Safe while the
+// fleet runs; errors are joined, one per failing tenant.
+func (f *Fleet) SaveAll() error {
+	var errs []error
+	for _, t := range f.Tenants() {
+		path := f.checkpointPath(t)
+		if path == "" {
+			continue
+		}
+		if err := stream.SaveCheckpoint(path, t.eng.Checkpoint()); err != nil {
+			errs = append(errs, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Run starts every tenant — ingestion engine, collection feed and (with
+// checkpointing) a persist loop — plus the shared re-solve scheduler,
+// and blocks until ctx is done. A tenant failure marks that tenant
+// failed and never takes its neighbors down; only when EVERY tenant has
+// failed does Run stop early and return an error, so a one-tenant fleet
+// (tmserve's single-tenant mode) exits on failure exactly as the
+// pre-fleet daemon did instead of serving nothing forever. After the
+// engines have stopped, a final SaveAll persists every tenant's last
+// state. Run may be called at most once.
+func (f *Fleet) Run(ctx context.Context) error {
+	if !f.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("fleet: Run called more than once")
+	}
+	tenants := f.Tenants()
+	if len(tenants) == 0 {
+		return fmt.Errorf("fleet: Run with no tenants")
+	}
+	if f.opts.CheckpointDir != "" {
+		if err := os.MkdirAll(f.opts.CheckpointDir, 0o755); err != nil {
+			return fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// allFailed closes when the last healthy tenant fails — the one
+	// tenant-level error that must surface to the host, because a fleet
+	// with nothing left to estimate would otherwise serve stale
+	// snapshots forever while looking alive.
+	allFailed := make(chan struct{})
+	var failed atomic.Int32
+	noteFail := func(t *Tenant, err error, what string) {
+		if !t.fail(fmt.Errorf("%s: %w", what, err)) {
+			return
+		}
+		f.opts.Logf("tenant %s: %s failed: %v", t.spec.Name, what, err)
+		if failed.Add(1) == int32(len(tenants)) {
+			close(allFailed)
+		}
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.schedule(runCtx)
+	}()
+
+	for _, t := range tenants {
+		t := t
+		t.setState(StateRunning)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := t.eng.Run(runCtx, t.feed.Store); err != nil && !errors.Is(err, context.Canceled) {
+				noteFail(t, err, "engine")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := t.feed.Collect(runCtx); err != nil {
+				if !errors.Is(err, context.Canceled) {
+					noteFail(t, err, "collect")
+				}
+				return
+			}
+			t.setState(StateServing)
+			f.opts.Logf("tenant %s: collection finished; serving last snapshot", t.spec.Name)
+		}()
+		if path := f.checkpointPath(t); path != "" {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f.persistLoop(runCtx, t, path)
+			}()
+		}
+	}
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case <-allFailed:
+		parts := make([]string, len(tenants))
+		for i, t := range tenants {
+			parts[i] = t.spec.Name + ": " + t.Status().Error
+		}
+		runErr = fmt.Errorf("fleet: every tenant has failed (%s)", strings.Join(parts, "; "))
+	}
+	cancel()
+	wg.Wait()
+	f.quiesce()
+	// Final persistence after every engine and solve has stopped, so the
+	// files hold the very last published state.
+	if err := f.SaveAll(); err != nil {
+		f.opts.Logf("final checkpoint save: %v", err)
+	}
+	return runErr
+}
+
+// persistLoop checkpoints one tenant after every publication (long-poll
+// coalesces bursts into one save per turn). A failed save is reported
+// and retried on the next publication — persistence trouble must not
+// take the estimation service down.
+func (f *Fleet) persistLoop(ctx context.Context, t *Tenant, path string) {
+	var seen uint64
+	save := func() {
+		if err := stream.SaveCheckpoint(path, t.eng.Checkpoint()); err != nil {
+			f.opts.Logf("tenant %s: checkpoint save: %v", t.spec.Name, err)
+		}
+	}
+	if snap, ok := t.eng.Latest(); ok {
+		// Persist what is already published before waiting: a restored
+		// or fast tenant may be quiescent before this loop starts.
+		seen = snap.Version
+		save()
+	}
+	for {
+		snap, err := t.eng.WaitVersion(ctx, seen+1)
+		if err != nil {
+			return // shutting down; Run does the final SaveAll
+		}
+		seen = snap.Version
+		save()
+	}
+}
+
+// kickScheduler is every engine's ResolveDispatch hook: a non-blocking
+// coalesced wake-up. It runs on the engines' ingestion goroutines.
+func (f *Fleet) kickScheduler() {
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+}
+
+// schedule is the fleet's re-solve dispatcher: it sleeps until an
+// engine parks work, then drains everything parked.
+func (f *Fleet) schedule(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.kick:
+			f.drain(ctx)
+		}
+	}
+}
+
+// claimNext picks the next tenant with a parked re-solve, round-robin
+// from where the previous claim left off, skipping tenants that are
+// already solving — the per-tenant in-flight cap of one that keeps a
+// big drifting tenant from occupying more than one pool slot.
+func (f *Fleet) claimNext() *Tenant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.tenants)
+	for i := 0; i < n; i++ {
+		t := f.tenants[(f.rr+i)%n]
+		if f.inflight[t.spec.Name] || !t.eng.ResolvePending() {
+			continue
+		}
+		f.inflight[t.spec.Name] = true
+		f.rr = (f.rr + i + 1) % n
+		return t
+	}
+	return nil
+}
+
+func (f *Fleet) release(t *Tenant) {
+	f.mu.Lock()
+	delete(f.inflight, t.spec.Name)
+	f.mu.Unlock()
+}
+
+// quiesce waits until no solve is in flight (used by Run before the
+// final SaveAll; claims made after cancellation consume their parked
+// work without solving, so this converges quickly at shutdown).
+func (f *Fleet) quiesce() {
+	for {
+		f.mu.Lock()
+		n := len(f.inflight)
+		f.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drain claims parked re-solves and executes them until none are left:
+// each claim is handed to a free pool helper when one exists and solved
+// on the calling goroutine otherwise, and a helper rejoins the drain
+// when its solve finishes — so every pool slot keeps pulling work,
+// round-robin, until the fleet is idle again.
+func (f *Fleet) drain(ctx context.Context) {
+	for ctx.Err() == nil {
+		t := f.claimNext()
+		if t == nil {
+			return
+		}
+		solve := func() {
+			t.eng.TryResolve(ctx)
+			f.release(t)
+		}
+		if !f.pool.TryGo(func() { solve(); f.drain(ctx) }) {
+			solve()
+		}
+	}
+}
+
+// Statuses reports every tenant's Status in declaration order (the
+// /tenants payload).
+func (f *Fleet) Statuses() []Status {
+	tenants := f.Tenants()
+	out := make([]Status, len(tenants))
+	for i, t := range tenants {
+		out[i] = t.Status()
+	}
+	return out
+}
+
+// Healthy reports whether no tenant has failed.
+func (f *Fleet) Healthy() bool {
+	for _, t := range f.Tenants() {
+		if t.Status().State == StateFailed {
+			return false
+		}
+	}
+	return true
+}

@@ -45,6 +45,26 @@ func NewPool(workers int) *Pool {
 // Workers returns the configured parallelism.
 func (p *Pool) Workers() int { return p.workers }
 
+// TryGo runs fn on a helper goroutine if a pool slot is immediately
+// free, reporting whether it did. It never blocks and never queues: a
+// false return means every slot is busy, and the caller — which keeps
+// its own goroutine, mirroring ForEach's caller-participates discipline
+// — should run fn itself if the work must happen now. Used by hosts
+// that dispatch dynamically arriving work (internal/fleet's re-solve
+// scheduler) rather than a fixed index range.
+func (p *Pool) TryGo(fn func()) bool {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return false
+	}
+	go func() {
+		defer func() { <-p.sem }()
+		fn()
+	}()
+	return true
+}
+
 // ForEach runs fn(i) for every i in [0, n), using the calling goroutine
 // plus as many pool slots as are free, and returns the first error in
 // index order. It stops issuing new indices once the context is

@@ -256,3 +256,69 @@ func TestRunEmitErrorAborts(t *testing.T) {
 		t.Fatalf("emit called %d times after aborting, want 1", emitted)
 	}
 }
+
+// TestTryGoBudget pins TryGo's slot accounting: a pool of k workers
+// hands out exactly k-1 helper slots (the caller's goroutine is the
+// k-th worker), every helper releases its slot when fn returns, and a
+// saturated pool answers false instead of blocking or queueing.
+func TestTryGoBudget(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	block := make(chan struct{})
+	var running atomic.Int32
+	spawned := 0
+	for p.TryGo(func() {
+		running.Add(1)
+		<-block
+		running.Add(-1)
+	}) {
+		spawned++
+		if spawned > workers {
+			t.Fatalf("TryGo handed out %d slots, pool has %d workers", spawned, workers)
+		}
+	}
+	if spawned != workers-1 {
+		t.Fatalf("TryGo handed out %d helper slots, want %d (caller participates as the last worker)", spawned, workers-1)
+	}
+	// Saturated: immediate false, no blocking.
+	if p.TryGo(func() {}) {
+		t.Fatal("TryGo succeeded on a saturated pool")
+	}
+	close(block)
+	// Slots must come back once helpers finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for !p.TryGo(func() {}) {
+		if time.Now().After(deadline) {
+			t.Fatal("no slot released after helpers finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for running.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("helpers did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTryGoSharesBudgetWithForEach proves TryGo and ForEach draw from
+// the same slot pool: with every helper slot pinned by TryGo, ForEach
+// still completes on the caller's goroutine alone (the no-deadlock
+// guarantee), and after release ForEach gets its helpers back.
+func TestTryGoSharesBudgetWithForEach(t *testing.T) {
+	p := NewPool(3)
+	block := make(chan struct{})
+	for p.TryGo(func() { <-block }) {
+	}
+	var visited atomic.Int32
+	if err := p.ForEach(context.Background(), 5, func(i int) error {
+		visited.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach on a TryGo-saturated pool: %v", err)
+	}
+	if visited.Load() != 5 {
+		t.Fatalf("ForEach visited %d of 5 indices", visited.Load())
+	}
+	close(block)
+}

@@ -362,6 +362,23 @@ func buildNoisy(args []string, seed int64) (*Instance, error) {
 	return in, nil
 }
 
+// BusySeries repackages the instance's busy evaluation window as a
+// standalone demand series: the Window intervals starting at Start,
+// with their original timestamps. It is what turns a scenario-lab
+// instance into a live replay source — collector.Replay (and the
+// fleet's scenario tenants) can stream exactly the window every batch
+// evaluation scores against, so a streaming engine's collected window
+// mean converges to Truth. The demand vectors are shared with the
+// underlying series, which replay treats as read-only.
+func (in *Instance) BusySeries() *traffic.Series {
+	s := in.Sc.Series
+	out := *s
+	out.Times = s.Times[in.Start : in.Start+in.Window]
+	out.Demands = s.Demands[in.Start : in.Start+in.Window]
+	out.Cfg.Samples = in.Window
+	return &out
+}
+
 // splitDemands counts demands whose routing row set contains a fractional
 // interior entry — demands actually split by ECMP.
 func splitDemands(sc *netsim.Scenario) int {

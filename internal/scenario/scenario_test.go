@@ -6,7 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"math"
+
 	"repro/internal/core"
+	"repro/internal/linalg"
 	"repro/internal/netsim"
 	"repro/internal/runner"
 	"repro/internal/topology"
@@ -320,5 +323,37 @@ func TestGravityOnInstance(t *testing.T) {
 	g := core.Gravity(in.Inst)
 	if got, want := g.Sum(), in.Inst.TotalTraffic(); abs(got-want) > 1e-6*want {
 		t.Fatalf("gravity total %v, measured total %v", got, want)
+	}
+}
+
+// TestBusySeriesMatchesTruth pins the replay-source contract: the mean
+// of BusySeries' demands is exactly the instance's ground truth, and
+// the sub-series is the [Start, Start+Window) slice of the base series.
+func TestBusySeriesMatchesTruth(t *testing.T) {
+	in, err := Build("scaled:europe", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := in.BusySeries()
+	if len(bs.Demands) != in.Window || len(bs.Times) != in.Window {
+		t.Fatalf("busy series has %d demands / %d times, want %d", len(bs.Demands), len(bs.Times), in.Window)
+	}
+	if bs.Cfg.Samples != in.Window || bs.P != in.Sc.Series.P || bs.N != in.Sc.Series.N {
+		t.Fatalf("busy series dims (samples=%d P=%d N=%d) drifted from instance", bs.Cfg.Samples, bs.P, bs.N)
+	}
+	for k := 0; k < in.Window; k++ {
+		if &bs.Demands[k][0] != &in.Sc.Series.Demands[in.Start+k][0] {
+			t.Fatalf("busy series demand %d is not the base series interval %d", k, in.Start+k)
+		}
+	}
+	mean := linalg.NewVector(bs.P)
+	for _, d := range bs.Demands {
+		linalg.Axpy(1, d, mean)
+	}
+	mean.Scale(1 / float64(in.Window))
+	for p := range mean {
+		if d := math.Abs(mean[p] - in.Truth[p]); d > 1e-9 {
+			t.Fatalf("demand %d: busy-series mean %v vs truth %v (diff %g)", p, mean[p], in.Truth[p], d)
+		}
 	}
 }

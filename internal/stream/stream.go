@@ -103,6 +103,16 @@ type Config struct {
 	// MetricsHistory bounds the error-metric ring kept for Metrics().
 	// Defaults to 1024 points.
 	MetricsHistory int
+	// ResolveDispatch, when non-nil, moves full re-solves off the
+	// engine's own worker goroutine and into the host's hands: each
+	// scheduled window is parked as the engine's single pending re-solve
+	// (latest wins, exactly as in worker mode) and ResolveDispatch is
+	// called once per parking so the host knows work is waiting. The
+	// host then calls TryResolve — typically on a shared worker pool
+	// shared by many engines (internal/fleet) — to execute it.
+	// ResolveDispatch runs on the engine's ingestion goroutine and must
+	// not block.
+	ResolveDispatch func()
 }
 
 // Snapshot is one published state of the evolving traffic matrix. All
@@ -331,12 +341,14 @@ func (e *Engine) Run(ctx context.Context, store *collector.Store) error {
 	}
 	updates, cancel := store.Subscribe()
 	defer cancel()
-	e.workerWG.Add(1)
-	go e.resolveWorker(ctx)
-	defer func() {
-		close(e.work)
-		e.workerWG.Wait()
-	}()
+	if e.cfg.ResolveDispatch == nil {
+		e.workerWG.Add(1)
+		go e.resolveWorker(ctx)
+		defer func() {
+			close(e.work)
+			e.workerWG.Wait()
+		}()
+	}
 	e.scan(store)
 	for {
 		select {
@@ -534,6 +546,9 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 			default:
 			}
 		}
+		if e.cfg.ResolveDispatch != nil {
+			e.cfg.ResolveDispatch()
+		}
 	}
 }
 
@@ -618,6 +633,39 @@ func (e *Engine) resolveWorker(ctx context.Context) {
 	}
 }
 
+// ResolvePending reports whether a scheduled full re-solve is parked
+// waiting for TryResolve. It is a scheduling hint for dispatch-mode
+// hosts (Config.ResolveDispatch): the answer may be stale by the time
+// the host acts on it, which TryResolve tolerates.
+func (e *Engine) ResolvePending() bool { return len(e.work) > 0 }
+
+// TryResolve executes at most one parked full re-solve on the calling
+// goroutine and publishes its result, reporting whether it consumed
+// one. It is the dispatch-mode (Config.ResolveDispatch) counterpart of
+// the engine's own resolve worker and carries the same invariant: at
+// most one re-solve per engine may be in flight, so a host must not
+// call it concurrently for the same engine. A nothing-pending call
+// returns false immediately; once ctx is done the parked work is still
+// consumed — and reported as consumed — but no longer solved (the
+// shutdown drain).
+func (e *Engine) TryResolve(ctx context.Context) bool {
+	select {
+	case w := <-e.work:
+		if ctx.Err() != nil {
+			return true // consumed, deliberately unsolved
+		}
+		t0 := time.Now()
+		est, iters, warm, err := e.resolve(w)
+		if err != nil {
+			return true // a failed re-solve never unpublishes the previous one
+		}
+		e.publishResolve(est, w, iters, warm, time.Since(t0))
+		return true
+	default:
+		return false
+	}
+}
+
 // takeWarm returns the warm-start iterates for the next re-solve (nil
 // means cold). Locked: Restore seeds them before Run, the worker
 // advances them, Checkpoint reads them.
@@ -697,6 +745,17 @@ func (e *Engine) Latest() (snap Snapshot, ok bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.snap.cloneForRead(), e.have
+}
+
+// Position returns the newest snapshot's version and interval without
+// copying its matrices — the cheap read for status and health endpoints
+// that poll every engine (the fleet's /tenants and /healthz), where
+// Latest's deep copy of four vectors per tenant per probe would be pure
+// waste.
+func (e *Engine) Position() (version uint64, interval int, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snap.Version, e.snap.Interval, e.have
 }
 
 // WaitVersion blocks until a snapshot with Version >= min is published

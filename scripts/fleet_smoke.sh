@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Fleet serving smoke test, as run by CI's fleet-smoke job (and `make
+# smoke`): build tmserve, boot a 4-tenant fleet in replay mode, read
+# /tenants and every /t/{name}/snapshot, stop the daemon, restart it
+# against the same -checkpoint-dir with an hour-long pace, and assert
+# every restored tenant serves its pre-restart snapshot immediately.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pid=""
+cleanup() {
+  if [ -n "$pid" ]; then
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+addr="127.0.0.1:${FLEET_SMOKE_PORT:-17481}"
+base="http://$addr"
+
+say() { echo "fleet-smoke: $*"; }
+
+say "building tmserve"
+go build -o "$workdir/tmserve" ./cmd/tmserve
+
+cat > "$workdir/fleet.json" <<'JSON'
+{
+  "format": 1,
+  "tenants": [
+    {"name": "eu", "source": "europe", "cycles": 6, "pace": "20ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "us", "source": "america", "cycles": 6, "pace": "20ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "lab-noisy", "source": "scenario:noisy:europe:0.05", "cycles": 6, "pace": "20ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "lab-16", "source": "scenario:scaled:16", "cycles": 6, "pace": "20ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5}
+  ]
+}
+JSON
+names=(eu us lab-noisy lab-16)
+
+start_daemon() {
+  "$workdir/tmserve" -fleet "$workdir/fleet.json" -checkpoint-dir "$workdir/ckpt" -addr "$addr" &
+  pid=$!
+  for _ in $(seq 1 120); do
+    if curl -sf "$base/healthz" > /dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      say "daemon died during startup"; exit 1
+    fi
+    sleep 0.25
+  done
+  say "daemon never came up on $addr"; exit 1
+}
+
+say "booting 4-tenant fleet"
+start_daemon
+
+say "waiting for every tenant to finish its replay"
+for _ in $(seq 1 240); do
+  serving=$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "serving" and .have_snapshot)] | length')
+  [ "$serving" = "4" ] && break
+  sleep 0.25
+done
+serving=$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "serving" and .have_snapshot)] | length')
+if [ "$serving" != "4" ]; then
+  say "only $serving/4 tenants serving"; curl -s "$base/tenants" | jq .; exit 1
+fi
+
+declare -A versions intervals
+for name in "${names[@]}"; do
+  snap=$(curl -sf "$base/t/$name/snapshot")
+  versions[$name]=$(echo "$snap" | jq -r .version)
+  intervals[$name]=$(echo "$snap" | jq -r .interval)
+  if [ "${intervals[$name]}" != "5" ]; then
+    say "tenant $name at interval ${intervals[$name]}, want 5"; exit 1
+  fi
+  say "tenant $name: version ${versions[$name]}, interval ${intervals[$name]}"
+done
+
+say "stopping the daemon"
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+for name in "${names[@]}"; do
+  if [ ! -f "$workdir/ckpt/$name.ckpt" ]; then
+    say "tenant $name left no checkpoint"; exit 1
+  fi
+done
+
+# The restarted daemon replays at an hour per interval: anything it
+# serves within this test's lifetime can only come from the restored
+# checkpoints.
+jq '.tenants[].pace = "1h"' "$workdir/fleet.json" > "$workdir/fleet-slow.json"
+mv "$workdir/fleet-slow.json" "$workdir/fleet.json"
+
+say "restarting against the same -checkpoint-dir"
+start_daemon
+
+for name in "${names[@]}"; do
+  # First request, no settling loop: restored snapshots must serve
+  # immediately.
+  snap=$(curl -sf "$base/t/$name/snapshot") || { say "tenant $name dark after restart"; exit 1; }
+  version=$(echo "$snap" | jq -r .version)
+  interval=$(echo "$snap" | jq -r .interval)
+  restored=$(curl -sf "$base/tenants" | jq -r ".tenants[] | select(.name == \"$name\") | .restored")
+  if [ "$interval" != "${intervals[$name]}" ] || [ "$version" -lt "${versions[$name]}" ]; then
+    say "tenant $name restored to version $version interval $interval, want >= ${versions[$name]} / ${intervals[$name]}"
+    exit 1
+  fi
+  if [ "$restored" != "true" ]; then
+    say "tenant $name does not report restored=true"; exit 1
+  fi
+  say "tenant $name: restored version $version, interval $interval"
+done
+
+say "PASS"
