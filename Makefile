@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke loadtest check
 
 build:
 	$(GO) build ./...
@@ -52,15 +52,15 @@ bench-baseline:
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout' -benchtime 1x -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout' -benchtime 1x -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag
-# table matches the real flag sets, and METHODS.md covers every
-# estimation method and experiment ID.
+# table matches the real flag sets, METHODS.md covers every estimation
+# method and experiment ID, and docs/API.md lists every served route.
 docs:
-	$(GO) test -run 'TestPackageComments|TestREADMEFlagDrift|TestMETHODSCoverage' .
+	$(GO) test -run 'TestPackageComments|TestREADMEFlagDrift|TestMETHODSCoverage|TestAPIDocDrift' .
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -86,5 +86,11 @@ cover:
 # tenant's snapshot, restart from -checkpoint-dir (CI's fleet-smoke job).
 smoke:
 	bash scripts/fleet_smoke.sh
+
+# Serving load test: drive a 2-tenant tmserve fleet with cmd/tmload's
+# poll + SSE client mix for ~10s, gating on zero errors and the p99
+# snapshot latency bound (CI's loadtest job).
+loadtest:
+	bash scripts/loadtest.sh
 
 check: vet fmt build docs test-short

@@ -8,8 +8,10 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +23,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/topology"
 )
 
@@ -535,4 +539,120 @@ func BenchmarkFleetResolveFanout(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(tenants*b.N)/b.Elapsed().Seconds(), "resolves/s")
+}
+
+// benchSource hand-feeds a serve.Hub for the fan-out benchmark: Publish
+// makes a snapshot the latest and wakes every pending WaitVersion, like
+// a stream.Engine's publication does.
+type benchSource struct {
+	mu     sync.Mutex
+	latest stream.Snapshot
+	have   bool
+	wake   chan struct{}
+}
+
+func newBenchSource() *benchSource { return &benchSource{wake: make(chan struct{})} }
+
+func (s *benchSource) Publish(snap stream.Snapshot) {
+	s.mu.Lock()
+	s.latest = snap
+	s.have = true
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.mu.Unlock()
+}
+
+func (s *benchSource) Latest() (stream.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest, s.have
+}
+
+func (s *benchSource) WaitVersion(ctx context.Context, min uint64) (stream.Snapshot, error) {
+	for {
+		s.mu.Lock()
+		if s.have && s.latest.Version >= min {
+			snap := s.latest
+			s.mu.Unlock()
+			return snap, nil
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return stream.Snapshot{}, ctx.Err()
+		}
+	}
+}
+
+// BenchmarkSnapshotFanout is the million-client serving claim's anchor:
+// 100k concurrent long-poll clients parked on one tenant's hub, each
+// publication serialized exactly once and fanned out to all of them.
+// One benchmark iteration is one publication delivered to every client;
+// the reported allocs/req must stay ~O(1) — the entry is shared, the
+// waiter registrations are pooled, and nothing is re-encoded per client.
+func BenchmarkSnapshotFanout(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-client fan-out benchmark is slow; skipping in -short mode")
+	}
+	const clients = 100_000
+	src := newBenchSource()
+	h := serve.NewHub(src, serve.HubConfig{MaxWaiters: clients + 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go h.Run(ctx)
+
+	// A realistically sized snapshot: a 100-PoP deployment's ~10k pairs.
+	vec := linalg.NewVector(9900)
+	for i := range vec {
+		vec[i] = float64(i) * 0.25
+	}
+	snapAt := func(version uint64) stream.Snapshot {
+		g := vec.Clone()
+		g[0] += float64(version)
+		return stream.Snapshot{
+			Version: version, Interval: int(version), Window: 6,
+			Covered: len(vec), Gravity: g, Mean: vec, Fanouts: vec,
+			Time: time.Unix(1700000000, 0).UTC(),
+		}
+	}
+
+	var served atomic.Uint64
+	for i := 0; i < clients; i++ {
+		go func() {
+			next := uint64(1)
+			for {
+				e, err := h.WaitMin(ctx, next)
+				if err != nil {
+					return
+				}
+				next = e.Version + 1
+				served.Add(1)
+			}
+		}()
+	}
+	// Every client parked before the clock starts.
+	for h.Stats().Waiters < clients {
+		time.Sleep(time.Millisecond)
+	}
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		v := uint64(n + 1)
+		src.Publish(snapAt(v))
+		for target := uint64(clients) * v; served.Load() < target; {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	requests := uint64(clients) * uint64(b.N)
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(requests), "allocs/req")
+	b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "clients/s")
 }

@@ -27,15 +27,28 @@
 // instead of going dark while collectors refill — and persisted
 // atomically on every publication and at shutdown.
 //
-// Endpoints:
+// The HTTP surface (internal/serve) is a cached fan-out read path:
+// every publication is encoded exactly once and shared by all clients,
+// consecutive versions are delta encoded, and all long-polls and SSE
+// subscribers multiplex off one observation loop per tenant, bounded by
+// -max-waiters (excess clients get 429 + Retry-After).
 //
-//	GET /healthz           liveness plus per-tenant state
-//	GET /tenants           every tenant's status (name, state, version)
-//	GET /t/{name}/snapshot tenant's latest versioned snapshot;
-//	                       ?min_version=N long-polls until version N
-//	GET /t/{name}/metrics  tenant's estimation-error history
-//	GET /snapshot          single-tenant alias of /t/default/snapshot
-//	GET /metrics           single-tenant alias of /t/default/metrics
+// Endpoints (see docs/API.md):
+//
+//	GET /v1/tenants            every tenant's status + serving stats
+//	GET /v1/t/{name}/snapshot  latest snapshot; ETag/If-None-Match
+//	                           conditional gets, ?min_version=N
+//	                           long-poll, delta responses via
+//	                           Accept: application/vnd.tmserve.delta+json
+//	GET /v1/t/{name}/events    SSE stream of versions + deltas
+//	GET /v1/t/{name}/metrics   tenant's estimation-error history
+//	GET /healthz               liveness plus per-tenant state
+//	GET /tenants               every tenant's status (name, state, version)
+//	GET /t/{name}/snapshot     tenant's latest versioned snapshot;
+//	                           ?min_version=N long-polls until version N
+//	GET /t/{name}/metrics      tenant's estimation-error history
+//	GET /snapshot              single-tenant alias of /t/default/snapshot
+//	GET /metrics               single-tenant alias of /t/default/metrics
 //
 // The daemon keeps serving after collections finish and shuts down
 // gracefully on SIGINT/SIGTERM via the usual context plumbing.
@@ -51,7 +64,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,8 +72,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -69,7 +79,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/netsim"
 	"repro/internal/runner"
-	"repro/internal/stream"
+	"repro/internal/serve"
 )
 
 type config struct {
@@ -93,6 +103,7 @@ type config struct {
 	fleetPath     string
 	checkpointDir string
 	parallel      int
+	maxWaiters    int
 
 	pace    time.Duration // replay
 	pollers int           // live
@@ -127,6 +138,7 @@ func main() {
 	flag.StringVar(&cfg.fleetPath, "fleet", "", "fleet config JSON declaring many tenants (multi-tenant mode; replay sources only)")
 	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "per-tenant checkpoint directory: each tenant restores from and persists to <dir>/<name>.ckpt")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "shared re-solve worker pool size across all tenants; 0 = GOMAXPROCS")
+	flag.IntVar(&cfg.maxWaiters, "max-waiters", 0, "per-tenant cap on concurrent long-poll waiters + SSE subscribers, 429 beyond it; 0 = 65536 (tenant specs can override per tenant)")
 	flag.StringVar(&cfg.method, "method", "entropy", "full re-solve estimator: entropy | bayes | vardi | fanout")
 	flag.Float64Var(&cfg.reg, "reg", 1000, "regularization parameter for entropy/bayes re-solves")
 	flag.Float64Var(&cfg.sigmaInv2, "sigma", 0.01, "sigma^-2 for vardi re-solves")
@@ -153,6 +165,9 @@ func main() {
 func (cfg config) validate() error {
 	if cfg.driftThreshold < 0 {
 		return fmt.Errorf("-drift-threshold %v is negative", cfg.driftThreshold)
+	}
+	if cfg.maxWaiters < 0 {
+		return fmt.Errorf("-max-waiters %d is negative", cfg.maxWaiters)
 	}
 	if cfg.driftThreshold > 0 && cfg.resolveEvery <= 0 {
 		return fmt.Errorf("-drift-threshold %v requires full re-solves: set -resolve-every > 0 (drift can only trigger a re-solve that is enabled)", cfg.driftThreshold)
@@ -327,7 +342,10 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	defer cancel()
 	fleetDone := make(chan error, 1)
 	go func() { fleetDone <- f.Run(runCtx) }()
-	srv := &http.Server{Handler: newHandler(runCtx, f, single)}
+	srv := &http.Server{Handler: serve.New(runCtx, f, serve.Options{
+		Single:     single,
+		MaxWaiters: cfg.maxWaiters,
+	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -368,111 +386,12 @@ func loadScenario(cfg config) (*netsim.Scenario, error) {
 	return nil, fmt.Errorf("unknown -region %q (europe or america)", cfg.region)
 }
 
-// newHandler builds the HTTP API over a fleet. Long-polls abort when
-// runCtx is cancelled, so active handlers never hold srv.Shutdown to
-// its timeout during the daemon's graceful shutdown. In single-tenant
-// mode the classic /snapshot and /metrics endpoints alias the one
-// tenant, byte-compatible with the pre-fleet daemon.
+// newHandler builds the HTTP API over a fleet (internal/serve does the
+// real work: per-tenant broadcast hubs, the cached/delta read path, the
+// v1 surface and the byte-compatible legacy aliases). Long-polls abort
+// when runCtx is cancelled, so active handlers never hold srv.Shutdown
+// to its timeout during the daemon's graceful shutdown. Kept as the
+// seam the end-to-end tests drive directly.
 func newHandler(runCtx context.Context, f *fleet.Fleet, single bool) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		resp := map[string]any{"ok": f.Healthy(), "tenants": f.Statuses()}
-		if single {
-			version, _, ok := f.Tenants()[0].Engine().Position()
-			resp["have_snapshot"] = ok
-			resp["version"] = version
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"tenants": f.Statuses()})
-	})
-	// Tenant-scoped routes. Path patterns with wildcards need Go 1.22's
-	// mux; this repo still builds on 1.21, so the prefix is split by hand.
-	mux.HandleFunc("/t/", func(w http.ResponseWriter, r *http.Request) {
-		name, endpoint, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/t/"), "/")
-		if !ok {
-			// /t/eu without an endpoint: the tenant may well exist, so
-			// say what is actually missing instead of "unknown tenant".
-			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("missing endpoint: /t/%s/snapshot or /t/%s/metrics", name, name)})
-			return
-		}
-		t, have := f.Tenant(name)
-		if !have {
-			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown tenant %q (see /tenants)", name)})
-			return
-		}
-		switch endpoint {
-		case "snapshot":
-			serveSnapshot(runCtx, t.Engine(), w, r)
-		case "metrics":
-			serveMetrics(t.Engine(), w)
-		default:
-			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("unknown endpoint %q (snapshot or metrics)", endpoint)})
-		}
-	})
-	if single {
-		e := f.Tenants()[0].Engine()
-		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-			serveSnapshot(runCtx, e, w, r)
-		})
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			serveMetrics(e, w)
-		})
-	}
-	return mux
-}
-
-// serveSnapshot answers one snapshot request over an engine, including
-// the ?min_version long-poll.
-func serveSnapshot(runCtx context.Context, e *stream.Engine, w http.ResponseWriter, r *http.Request) {
-	if mv := r.URL.Query().Get("min_version"); mv != "" {
-		min, err := strconv.ParseUint(mv, 10, 64)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad min_version"})
-			return
-		}
-		// Long poll, bounded so an abandoned stream cannot pin the
-		// handler forever, and released early on daemon shutdown.
-		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-		defer cancel()
-		defer context.AfterFunc(runCtx, cancel)()
-		snap, err := e.WaitVersion(ctx, min)
-		if err != nil {
-			// Three distinct release causes, three distinct answers:
-			// a vanished client gets nothing (writing a body to a
-			// dead connection just burns a broken-pipe error), a
-			// shutting-down daemon says so with 503, and only a
-			// genuine bounded-wait expiry is the long-poll timeout
-			// 504. The order matters — during shutdown the client
-			// may well be gone too, and skipping the write wins.
-			switch {
-			case r.Context().Err() != nil:
-				// Client disconnected (or its own deadline fired).
-			case runCtx.Err() != nil:
-				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "daemon shutting down"})
-			default:
-				writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": "timed out waiting for version"})
-			}
-			return
-		}
-		writeJSON(w, http.StatusOK, snap)
-		return
-	}
-	snap, ok := e.Latest()
-	if !ok {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot yet"})
-		return
-	}
-	writeJSON(w, http.StatusOK, snap)
-}
-
-func serveMetrics(e *stream.Engine, w http.ResponseWriter) {
-	writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	return serve.New(runCtx, f, serve.Options{Single: single}).Handler()
 }

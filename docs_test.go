@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 // TestPackageComments fails when any internal/* package (or the root
@@ -114,6 +115,32 @@ func TestREADMEFlagDrift(t *testing.T) {
 					t.Errorf("README row for %s does not document flag -%s", name, flag)
 				}
 			}
+		}
+	}
+}
+
+// TestAPIDocDrift fails when docs/API.md stops covering a route the
+// server actually answers: every row of serve.Routes() — the single
+// source of truth the mux is built from — must appear in the document
+// as a backticked "METHOD /path" cell. (The reverse direction, every
+// documented route being real, is TestRoutesAllServed in
+// internal/serve.)
+func TestAPIDocDrift(t *testing.T) {
+	doc, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range serve.Routes() {
+		cell := "`" + rt.Method + " " + rt.Pattern + "`"
+		if !strings.Contains(string(doc), cell) {
+			t.Errorf("docs/API.md does not document route %s", cell)
+		}
+	}
+	// The negotiation vocabulary must stay documented too: these are the
+	// strings clients hardcode.
+	for _, token := range []string{serve.DeltaMediaType, "If-None-Match", "min_version", "Retry-After", "X-Snapshot-Version", "X-Delta-From"} {
+		if !strings.Contains(string(doc), token) {
+			t.Errorf("docs/API.md does not mention %q", token)
 		}
 	}
 }

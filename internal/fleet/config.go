@@ -60,6 +60,12 @@ type TenantSpec struct {
 	// selects <checkpoint-dir>/<name>.ckpt when the fleet has a
 	// checkpoint directory, and no checkpointing otherwise.
 	Checkpoint string `json:"checkpoint,omitempty"`
+
+	// MaxWaiters caps this tenant's concurrent long-poll waiters plus
+	// SSE subscribers on the serving side (internal/serve); excess
+	// clients get 429 + Retry-After. 0 selects the daemon-wide
+	// -max-waiters value.
+	MaxWaiters int `json:"max_waiters,omitempty"`
 }
 
 // Config is the versioned fleet declaration `tmserve -fleet` loads.
@@ -101,6 +107,9 @@ func ParseConfig(data []byte) (Config, error) {
 		}
 		if t.Cycles < -1 {
 			return Config{}, fmt.Errorf("fleet: tenant %q: cycles %d out of range (>= -1)", t.Name, t.Cycles)
+		}
+		if t.MaxWaiters < 0 {
+			return Config{}, fmt.Errorf("fleet: tenant %q: max_waiters %d is negative", t.Name, t.MaxWaiters)
 		}
 	}
 	return cfg, nil

@@ -1,0 +1,44 @@
+package serve
+
+// Route is one row of the HTTP surface: the method and path pattern a
+// Server answers, what it does, and which surface it belongs to. The
+// table is the single source of truth the API documentation
+// (docs/API.md) is drift-tested against, and the server tests assert
+// every row is actually routable.
+type Route struct {
+	Method  string
+	Pattern string // {name} marks the tenant path segment
+	Summary string
+	// Legacy marks the pre-v1 routes kept byte-compatible with the
+	// seed-era daemon; false means the versioned /v1 surface.
+	Legacy bool
+	// SingleOnly routes exist only in single-tenant mode, where they
+	// alias the one tenant.
+	SingleOnly bool
+}
+
+// Routes returns the full route table, v1 first.
+func Routes() []Route {
+	return []Route{
+		{Method: "GET", Pattern: "/v1/tenants",
+			Summary: "every tenant's status plus its serving statistics (waiters, subscribers, cached versions)"},
+		{Method: "GET", Pattern: "/v1/t/{name}/snapshot",
+			Summary: "latest snapshot: ETag/If-None-Match conditional get, ?min_version=N long-poll, delta via Accept: application/vnd.tmserve.delta+json with ?since=V, gzip via Accept-Encoding"},
+		{Method: "GET", Pattern: "/v1/t/{name}/events",
+			Summary: "Server-Sent Events stream of version announcements and deltas"},
+		{Method: "GET", Pattern: "/v1/t/{name}/metrics",
+			Summary: "tenant's estimation-error history"},
+		{Method: "GET", Pattern: "/healthz", Legacy: true,
+			Summary: "liveness plus per-tenant state"},
+		{Method: "GET", Pattern: "/tenants", Legacy: true,
+			Summary: "every tenant's status"},
+		{Method: "GET", Pattern: "/t/{name}/snapshot", Legacy: true,
+			Summary: "tenant's latest versioned snapshot; ?min_version=N long-polls"},
+		{Method: "GET", Pattern: "/t/{name}/metrics", Legacy: true,
+			Summary: "tenant's estimation-error history"},
+		{Method: "GET", Pattern: "/snapshot", Legacy: true, SingleOnly: true,
+			Summary: "single-tenant alias of /t/default/snapshot"},
+		{Method: "GET", Pattern: "/metrics", Legacy: true, SingleOnly: true,
+			Summary: "single-tenant alias of /t/default/metrics"},
+	}
+}

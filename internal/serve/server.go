@@ -1,0 +1,516 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// DeltaMediaType is the Accept value that negotiates delta responses on
+// /v1/t/{name}/snapshot (and the Content-Type of the delta document).
+const DeltaMediaType = "application/vnd.tmserve.delta+json"
+
+// DefaultLongPollTimeout bounds ?min_version long-polls so an abandoned
+// stream cannot pin a waiter forever.
+const DefaultLongPollTimeout = 30 * time.Second
+
+// Options configures a Server. The zero value of every field selects
+// its default.
+type Options struct {
+	// Single enables the single-tenant alias routes (/snapshot,
+	// /metrics) over the fleet's first tenant.
+	Single bool
+	// MaxWaiters is the per-tenant cap on concurrent long-poll waiters
+	// plus SSE subscribers; a tenant spec's max_waiters overrides it.
+	// <= 0 selects DefaultMaxWaiters.
+	MaxWaiters int
+	// CacheVersions, DeltaRatio and SubscriberBuffer tune each tenant's
+	// hub; see HubConfig.
+	CacheVersions    int
+	DeltaRatio       float64
+	SubscriberBuffer int
+	// LongPollTimeout bounds ?min_version waits; <= 0 selects
+	// DefaultLongPollTimeout.
+	LongPollTimeout time.Duration
+}
+
+// Server is the HTTP read path over a fleet: one hub per tenant, the
+// versioned /v1 API on top, and the legacy routes as byte-compatible
+// aliases. Construct with New, mount with Handler.
+type Server struct {
+	runCtx context.Context
+	f      *fleet.Fleet
+	opts   Options
+	hubs   map[string]*Hub
+	names  []string // tenant order, as the fleet lists them
+}
+
+// New builds a server over a fleet and starts one hub observation loop
+// per tenant; the loops stop when runCtx is cancelled, which also
+// releases every pending long-poll (the daemon's graceful shutdown).
+func New(runCtx context.Context, f *fleet.Fleet, opts Options) *Server {
+	if opts.LongPollTimeout <= 0 {
+		opts.LongPollTimeout = DefaultLongPollTimeout
+	}
+	if opts.DeltaRatio <= 0 {
+		opts.DeltaRatio = DefaultDeltaRatio
+	}
+	s := &Server{
+		runCtx: runCtx,
+		f:      f,
+		opts:   opts,
+		hubs:   make(map[string]*Hub),
+	}
+	for _, t := range f.Tenants() {
+		max := opts.MaxWaiters
+		if mw := t.Spec().MaxWaiters; mw > 0 {
+			max = mw
+		}
+		h := NewHub(t.Engine(), HubConfig{
+			MaxWaiters:       max,
+			CacheVersions:    opts.CacheVersions,
+			DeltaRatio:       opts.DeltaRatio,
+			SubscriberBuffer: opts.SubscriberBuffer,
+		})
+		s.hubs[t.Name()] = h
+		s.names = append(s.names, t.Name())
+		go h.Run(runCtx)
+	}
+	return s
+}
+
+// Hub returns the named tenant's hub (tests and stats reach through it).
+func (s *Server) Hub(name string) (*Hub, bool) {
+	h, ok := s.hubs[name]
+	return h, ok
+}
+
+// Handler builds the HTTP mux over the route table in Routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/tenants", s.handleTenants)
+	// Tenant-scoped routes. Path patterns with wildcards need Go 1.22's
+	// mux; this repo still builds on 1.21, so the prefix is split by hand.
+	mux.HandleFunc("/t/", s.handleLegacyTenant)
+	mux.HandleFunc("/v1/tenants", s.handleV1Tenants)
+	mux.HandleFunc("/v1/t/", s.handleV1Tenant)
+	if s.opts.Single && len(s.names) > 0 {
+		h := s.hubs[s.names[0]]
+		e := s.f.Tenants()[0].Engine()
+		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			s.serveSnapshot(w, r, h)
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
+		})
+	}
+	return mux
+}
+
+// ---- legacy surface (byte-compatible with the pre-serve daemon) ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"ok": s.f.Healthy(), "tenants": s.f.Statuses()}
+	if s.opts.Single {
+		version, _, ok := s.f.Tenants()[0].Engine().Position()
+		resp["have_snapshot"] = ok
+		resp["version"] = version
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.f.Statuses()})
+}
+
+func (s *Server) handleLegacyTenant(w http.ResponseWriter, r *http.Request) {
+	name, endpoint, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/t/"), "/")
+	if !ok {
+		// /t/eu without an endpoint: the tenant may well exist, so say
+		// what is actually missing instead of "unknown tenant".
+		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("missing endpoint: /t/%s/snapshot or /t/%s/metrics", name, name))
+		return
+	}
+	t, have := s.f.Tenant(name)
+	if !have {
+		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q (see /tenants)", name))
+		return
+	}
+	switch endpoint {
+	case "snapshot":
+		s.serveSnapshot(w, r, s.hubs[name])
+	case "metrics":
+		writeJSON(w, http.StatusOK, map[string]any{"points": t.Engine().Metrics()})
+	default:
+		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("unknown endpoint %q (snapshot or metrics)", endpoint))
+	}
+}
+
+// serveSnapshot answers one legacy snapshot request through the hub,
+// including the ?min_version long-poll. Bodies are the hub's cached
+// bytes — identical to what json.Encoder wrote before the cache.
+func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request, h *Hub) {
+	e, reply := s.fetchEntry(w, r, h)
+	if !reply {
+		return
+	}
+	if e == nil {
+		writeLegacyError(w, http.StatusServiceUnavailable, "no snapshot yet")
+		return
+	}
+	writeEntry(w, e, nil)
+}
+
+// fetchEntry resolves a snapshot request's entry: the ?min_version
+// long-poll (with the cap, timeout, shutdown and client-disconnect
+// handling) or the current entry. reply=false means the response is
+// already fully handled — an error was written, or the client vanished
+// and nothing must be (the recorder-based disconnect test pins that no
+// header is touched on that path). A nil entry with reply=true means
+// "no snapshot yet"; the caller picks its surface's error shape.
+func (s *Server) fetchEntry(w http.ResponseWriter, r *http.Request, h *Hub) (*Entry, bool) {
+	legacy := !strings.HasPrefix(r.URL.Path, "/v1/")
+	mv := r.URL.Query().Get("min_version")
+	if mv == "" {
+		return h.Current(), true
+	}
+	min, err := strconv.ParseUint(mv, 10, 64)
+	if err != nil {
+		if legacy {
+			writeLegacyError(w, http.StatusBadRequest, "bad min_version")
+		} else {
+			writeV1Error(w, http.StatusBadRequest, "bad_request", "bad min_version")
+		}
+		return nil, false
+	}
+	// Long poll, bounded so an abandoned stream cannot pin the waiter
+	// forever, and released early on daemon shutdown.
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.LongPollTimeout)
+	defer cancel()
+	defer context.AfterFunc(s.runCtx, cancel)()
+	e, err := h.WaitMin(ctx, min)
+	if err == nil {
+		return e, true
+	}
+	// Four distinct failure causes, four distinct answers: a hub at its
+	// waiter cap sheds load with 429 + Retry-After, a vanished client
+	// gets nothing (writing a body to a dead connection just burns a
+	// broken-pipe error), a shutting-down daemon says so with 503, and
+	// only a genuine bounded-wait expiry is the long-poll timeout 504.
+	switch {
+	case errors.Is(err, ErrTooManyWaiters):
+		w.Header().Set("Retry-After", "1")
+		if legacy {
+			writeLegacyError(w, http.StatusTooManyRequests, "too many waiters; retry later")
+		} else {
+			writeV1Error(w, http.StatusTooManyRequests, "too_many_waiters", "tenant long-poll capacity reached; retry later")
+		}
+	case r.Context().Err() != nil:
+		// Client disconnected (or its own deadline fired).
+	case s.runCtx.Err() != nil:
+		if legacy {
+			writeLegacyError(w, http.StatusServiceUnavailable, "daemon shutting down")
+		} else {
+			writeV1Error(w, http.StatusServiceUnavailable, "shutting_down", "daemon shutting down")
+		}
+	default:
+		if legacy {
+			writeLegacyError(w, http.StatusGatewayTimeout, "timed out waiting for version")
+		} else {
+			writeV1Error(w, http.StatusGatewayTimeout, "timeout", "timed out waiting for version")
+		}
+	}
+	return nil, false
+}
+
+// ---- v1 surface ----
+
+// v1Tenant is one row of GET /v1/tenants: the fleet status plus the
+// tenant's serving-side hub statistics.
+type v1Tenant struct {
+	fleet.Status
+	Serving HubStats `json:"serving"`
+}
+
+func (s *Server) handleV1Tenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeV1Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	statuses := s.f.Statuses()
+	out := make([]v1Tenant, 0, len(statuses))
+	for _, st := range statuses {
+		row := v1Tenant{Status: st}
+		if h, ok := s.hubs[st.Name]; ok {
+			row.Serving = h.Stats()
+		}
+		out = append(out, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+func (s *Server) handleV1Tenant(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeV1Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	name, endpoint, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/v1/t/"), "/")
+	if !ok {
+		writeV1Error(w, http.StatusNotFound, "missing_endpoint",
+			fmt.Sprintf("missing endpoint: /v1/t/%s/{snapshot|events|metrics}", name))
+		return
+	}
+	t, have := s.f.Tenant(name)
+	if !have {
+		writeV1Error(w, http.StatusNotFound, "unknown_tenant",
+			fmt.Sprintf("unknown tenant %q (see /v1/tenants)", name))
+		return
+	}
+	h := s.hubs[name]
+	switch endpoint {
+	case "snapshot":
+		s.serveV1Snapshot(w, r, h)
+	case "events":
+		s.serveV1Events(w, r, h)
+	case "metrics":
+		writeJSON(w, http.StatusOK, map[string]any{"points": t.Engine().Metrics()})
+	default:
+		writeV1Error(w, http.StatusNotFound, "unknown_endpoint",
+			fmt.Sprintf("unknown endpoint %q (snapshot, events or metrics)", endpoint))
+	}
+}
+
+// serveV1Snapshot is the negotiated read: conditional get via
+// If-None-Match, delta via Accept (+ ?since or the conditional ETag as
+// the base), gzip via Accept-Encoding, and the same ?min_version
+// long-poll as the legacy route.
+func (s *Server) serveV1Snapshot(w http.ResponseWriter, r *http.Request, h *Hub) {
+	e, reply := s.fetchEntry(w, r, h)
+	if !reply {
+		return
+	}
+	if e == nil {
+		writeV1Error(w, http.StatusServiceUnavailable, "no_snapshot", "no snapshot yet")
+		return
+	}
+	inm := r.Header.Get("If-None-Match")
+	if etagMatches(inm, e.ETag) {
+		w.Header().Set("ETag", e.ETag)
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), DeltaMediaType) {
+		if base, ok := deltaBase(r.URL.Query().Get("since"), inm); ok {
+			if base == e.Version {
+				w.Header().Set("ETag", e.ETag)
+				w.Header().Set("Cache-Control", "no-cache")
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			// A delta chain longer than the ratio of the full body is
+			// no win on the wire; DeltaChain then reports nil and the
+			// response falls back to the full snapshot.
+			maxBytes := int(s.opts.DeltaRatio * float64(len(e.JSON)))
+			if chain := h.Cache().DeltaChain(base, maxBytes); chain != nil {
+				writeDeltaDoc(w, e, base, chain)
+				return
+			}
+		}
+	}
+	writeEntry(w, e, r)
+}
+
+// deltaBase resolves the client's base version for a delta response:
+// the explicit ?since=N, else the If-None-Match ETag it presented.
+func deltaBase(since, inm string) (uint64, bool) {
+	if since != "" {
+		v, err := strconv.ParseUint(since, 10, 64)
+		return v, err == nil
+	}
+	for _, part := range strings.Split(inm, ",") {
+		tag := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		tag = strings.Trim(tag, `"`)
+		if rest, ok := strings.CutPrefix(tag, "v"); ok {
+			if v, err := strconv.ParseUint(rest, 10, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// etagMatches implements If-None-Match against one strong ETag.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" || tag == etag || strings.TrimPrefix(tag, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// DeltaDoc is the delta response body: the encoded patches leading from
+// the client's version From to the served version To, oldest first.
+// Apply each step in order to reproduce snapshot To byte-exactly.
+type DeltaDoc struct {
+	Format int               `json:"format"`
+	From   uint64            `json:"from"`
+	To     uint64            `json:"to"`
+	Steps  []json.RawMessage `json:"steps"`
+}
+
+func writeDeltaDoc(w http.ResponseWriter, e *Entry, from uint64, chain [][]byte) {
+	doc := DeltaDoc{Format: DeltaFormat, From: from, To: e.Version, Steps: make([]json.RawMessage, len(chain))}
+	for i, step := range chain {
+		doc.Steps[i] = json.RawMessage(step)
+	}
+	w.Header().Set("Content-Type", DeltaMediaType)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("ETag", e.ETag)
+	w.Header().Set("X-Snapshot-Version", strconv.FormatUint(e.Version, 10))
+	w.Header().Set("X-Delta-From", strconv.FormatUint(from, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(doc)
+}
+
+// sseAnnounce is the data payload of an SSE "version" event.
+type sseAnnounce struct {
+	Version  uint64    `json:"version"`
+	ETag     string    `json:"etag"`
+	Interval int       `json:"interval"`
+	Time     time.Time `json:"time"`
+	// DeltaFrom is present when a "delta" event for this version
+	// follows immediately after the announcement.
+	DeltaFrom *uint64 `json:"delta_from,omitempty"`
+}
+
+// serveV1Events streams version announcements (and deltas, when the hub
+// cached one) as Server-Sent Events until the client leaves, the daemon
+// shuts down, or the subscriber falls too far behind and is dropped.
+func (s *Server) serveV1Events(w http.ResponseWriter, r *http.Request, h *Hub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeV1Error(w, http.StatusInternalServerError, "streaming_unsupported", "response writer cannot stream")
+		return
+	}
+	sub, err := h.Subscribe()
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeV1Error(w, http.StatusTooManyRequests, "too_many_waiters", "tenant subscriber capacity reached; retry later")
+		return
+	}
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// The current version opens the stream (subscribing first, so a
+	// publication between the two is delivered, not lost); dedup below
+	// drops the duplicate if it races in.
+	var last uint64
+	if e := h.Current(); e != nil {
+		writeSSEEntry(w, e)
+		last = e.Version
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.runCtx.Done():
+			return
+		case e, ok := <-sub.C:
+			if !ok {
+				// Dropped by the hub for falling behind; the client
+				// reconnects and starts from the then-current version.
+				return
+			}
+			if e.Version <= last {
+				continue
+			}
+			writeSSEEntry(w, e)
+			last = e.Version
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSEEntry(w http.ResponseWriter, e *Entry) {
+	ann := sseAnnounce{Version: e.Version, ETag: e.ETag, Interval: e.Interval, Time: e.Time}
+	if e.Delta != nil {
+		from := e.DeltaFrom
+		ann.DeltaFrom = &from
+	}
+	data, err := json.Marshal(ann)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: version\nid: %d\ndata: %s\n\n", e.Version, data)
+	if e.Delta != nil {
+		fmt.Fprintf(w, "event: delta\nid: %d\ndata: %s\n\n", e.Version, e.Delta)
+	}
+}
+
+// ---- response helpers ----
+
+// writeEntry serves a cached snapshot entry: the immutable encoded
+// bytes, the serving headers the whole surface agrees on, and — only
+// for v1 requests (r non-nil with a /v1/ path) — gzip when the client
+// accepts it. Legacy responses stay byte-identical to the seed daemon.
+func writeEntry(w http.ResponseWriter, e *Entry, r *http.Request) {
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set("Cache-Control", "no-cache")
+	hdr.Set("X-Snapshot-Version", strconv.FormatUint(e.Version, 10))
+	body := e.JSON
+	if r != nil && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		if gz := e.Gzip(); gz != nil {
+			hdr.Set("Content-Encoding", "gzip")
+			hdr.Set("Vary", "Accept-Encoding")
+			body = gz
+		}
+	}
+	if r != nil {
+		hdr.Set("ETag", e.ETag)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// writeJSON answers a legacy-shaped JSON response; the body bytes are
+// exactly what the seed daemon's json.Encoder produced.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeLegacyError answers with the legacy {"error":"..."} envelope.
+func writeLegacyError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// v1Error is the uniform v1 error envelope: {"error":{"code","message"}}.
+type v1Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeV1Error answers with the v1 envelope.
+func writeV1Error(w http.ResponseWriter, code int, errCode, msg string) {
+	writeJSON(w, code, map[string]any{"error": v1Error{Code: errCode, Message: msg}})
+}
