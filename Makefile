@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke loadtest check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke timeline-smoke loadtest check
 
 build:
 	$(GO) build ./...
@@ -52,8 +52,8 @@ bench-baseline:
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout' -benchtime 1x -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout|TimelineSwap' -benchtime 1x -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json -baseline BENCH_pr7.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag
@@ -86,6 +86,12 @@ cover:
 # tenant's snapshot, restart from -checkpoint-dir (CI's fleet-smoke job).
 smoke:
 	bash scripts/fleet_smoke.sh
+
+# Timeline smoke: drive a 2-tenant scripted fleet through one full
+# failure + restore cycle, gating on zero tenant errors and a recovered
+# snapshot on the restored topology (CI's timeline-smoke job).
+timeline-smoke:
+	bash scripts/timeline_smoke.sh
 
 # Serving load test: drive a 2-tenant tmserve fleet with cmd/tmload's
 # poll + SSE client mix for ~10s, gating on zero errors and the p99

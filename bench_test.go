@@ -656,3 +656,86 @@ func BenchmarkSnapshotFanout(b *testing.B) {
 	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(requests), "allocs/req")
 	b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "clients/s")
 }
+
+// BenchmarkTimelineSwap measures the mid-stream routing hot-swap path:
+// a streaming engine primes a warm window on the base topology, one
+// adjacency fails (stream.Engine.SwapRouting remaps the warm iterate
+// onto the survivor topology), and the next full re-solve runs
+// warm-started on the new routing. This is the per-event cost of a
+// scripted fail_link/restore timeline; the benchdiff gate watches both
+// the wall time and the post-swap iteration count.
+func BenchmarkTimelineSwap(b *testing.B) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// First removable interior adjacency that leaves the network routable.
+	var failedRt *topology.Routing
+	for _, l := range sc.Net.Links {
+		if l.Kind != topology.Interior || l.Src > l.Dst {
+			continue
+		}
+		if rt, err := topology.RemoveAdjacency(sc.Net, l.ID).Route(); err == nil {
+			failedRt = rt
+			break
+		}
+	}
+	if failedRt == nil {
+		b.Fatal("no removable adjacency")
+	}
+	const window, every = 6, 3
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var warmIters int
+	for n := 0; n < b.N; n++ {
+		eng, err := stream.New(sc.Rt, stream.Config{
+			Window: window, ResolveEvery: every, Method: stream.MethodEntropy,
+			ResolveDispatch: func() {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := collector.NewStore(sc.Net.NumPairs())
+		runCtx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- eng.Run(runCtx, store) }()
+		var version uint64
+		feed := func(from, to int) {
+			for iv := from; iv < to; iv++ {
+				for p, mbps := range sc.Series.Demands[iv] {
+					store.Ingest(collector.RateRecord{LSP: p, Interval: iv, RateMbps: mbps, Poller: "bench"})
+				}
+				version++
+				if _, err := eng.WaitVersion(runCtx, version); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		resolve := func() stream.Snapshot {
+			if !eng.TryResolve(runCtx) {
+				b.Fatal("no parked re-solve")
+			}
+			version++
+			snap, err := eng.WaitVersion(runCtx, version)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return snap
+		}
+		feed(0, window) // parks at intervals 2 and 5
+		resolve()       // cold prime on the base topology
+		if err := eng.SwapRouting(failedRt, 1, window); err != nil {
+			b.Fatal(err)
+		}
+		feed(window, window+every) // swap applies, parks at interval 8
+		snap := resolve()          // warm re-solve on the failed topology
+		if !snap.ResolveWarm || snap.TopologyEpoch != 1 {
+			b.Fatalf("post-swap re-solve warm=%v epoch=%d", snap.ResolveWarm, snap.TopologyEpoch)
+		}
+		warmIters = snap.ResolveIterations
+		cancel()
+		<-done
+	}
+	b.ReportMetric(float64(warmIters), "swap-iterations")
+}

@@ -7,6 +7,12 @@
 // scenarios record their routing model in the file, so loading them
 // rebuilds the same fractional routing matrix.
 //
+// -timeline compiles a timeline script (internal/timeline) instead:
+// the scripted demand series and topology-epoch sequence are written as
+// indented JSON — full demand vectors included — for inspection or as
+// input to other tooling. The same script fed to `tmserve` via a
+// scenario:script:<file> tenant replays live with routing hot-swaps.
+//
 // Usage:
 //
 //	tmgen -region europe -seed 1 -out europe.json
@@ -15,21 +21,25 @@
 //	tmgen -family ecmp:25:150 -out ecmp.json
 //	tmgen -family failure:25:worst -out failed.json
 //	tmgen -family help
+//	tmgen -timeline examples/timelines/failure_reroute.json -out compiled.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/netsim"
 	"repro/internal/scenario"
+	"repro/internal/timeline"
 )
 
 func main() {
 	region := flag.String("region", "europe", "subnetwork to generate: europe or america")
 	family := flag.String("family", "", "scenario-family spec (e.g. scaled:100, ecmp:25:150); overrides -region; 'help' lists families")
+	tlScript := flag.String("timeline", "", "timeline script to compile (overrides -region/-family); writes the scripted series + epochs as JSON")
 	seed := flag.Int64("seed", 1, "deterministic generator seed")
 	out := flag.String("out", "", "output file (default <region>.json or <family spec with : replaced>.json)")
 	flag.Parse()
@@ -38,6 +48,14 @@ func main() {
 		fmt.Println("Scenario families (spec grammar -> description):")
 		for _, f := range scenario.Families() {
 			fmt.Printf("  %-28s %s\n", f.Usage, f.Desc)
+		}
+		return
+	}
+
+	if *tlScript != "" {
+		if err := compileTimeline(*tlScript, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "tmgen: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -84,4 +102,35 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d PoPs, %d demands, %d interior links, %d intervals, %s routing\n",
 		*out, sc.Net.NumPoPs(), sc.Net.NumPairs(), sc.Net.InteriorLinks(), len(sc.Series.Demands), model)
+}
+
+// compileTimeline parses a script, compiles it against its base
+// instance and writes the compiled series (demand vectors included).
+func compileTimeline(path string, seed int64, out string) error {
+	s, err := timeline.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	tl, _, err := scenario.BuildScript(s, seed)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		out = base + "-compiled.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteCompiled(f, true); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d intervals, %d epochs, %d events over %s\n",
+		out, len(tl.Steps), len(tl.Epochs), len(tl.Script.Events), tl.Base.Region)
+	return nil
 }

@@ -59,6 +59,7 @@
 //	tmserve -scenario europe.json -mode replay -pace 200ms
 //	tmserve -mode live -pollers 3 -drop 0.02 -speed 0.1
 //	tmserve -checkpoint tm.ckpt -drift-threshold 0.1 -resolve-max-every 12
+//	tmserve -timeline examples/timelines/failure_reroute.json -pace 50ms
 //	tmserve -fleet fleet.json -checkpoint-dir ckpt -parallel 8
 package main
 
@@ -86,6 +87,7 @@ type config struct {
 	addr     string
 	region   string
 	scenario string
+	timeline string
 	seed     int64
 	mode     string
 	cycles   int
@@ -126,6 +128,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7080", "HTTP listen address")
 	flag.StringVar(&cfg.region, "region", "europe", "scenario to simulate: europe or america")
 	flag.StringVar(&cfg.scenario, "scenario", "", "scenario JSON produced by tmgen (overrides -region)")
+	flag.StringVar(&cfg.timeline, "timeline", "", "timeline script JSON (internal/timeline): scripted demand events replayed with routing hot-swaps; overrides -region/-scenario, and -cycles then counts whole timeline passes")
 	flag.Int64Var(&cfg.seed, "seed", 1, "scenario seed (ignored with -scenario)")
 	flag.StringVar(&cfg.mode, "mode", "replay", "measurement source: replay (deterministic) or live (UDP/TCP pipeline)")
 	flag.IntVar(&cfg.cycles, "cycles", 24, "polling intervals to collect; 0 = run until interrupted")
@@ -186,7 +189,7 @@ func (cfg config) validate() error {
 		// specs: passing one alongside -fleet would be silently ignored,
 		// which is exactly the class of mistake validate exists to catch.
 		for _, name := range []string{
-			"region", "scenario", "seed", "mode", "cycles", "window",
+			"region", "scenario", "timeline", "seed", "mode", "cycles", "window",
 			"min-coverage", "resolve-every", "resolve-max-every",
 			"drift-threshold", "method", "reg", "sigma", "pace",
 			"pollers", "drop", "speed",
@@ -195,6 +198,9 @@ func (cfg config) validate() error {
 				return fmt.Errorf("-%s is single-tenant only and ignored with -fleet; set it per tenant in the fleet config", name)
 			}
 		}
+	}
+	if cfg.timeline != "" && cfg.mode == "live" {
+		return fmt.Errorf("-timeline is a deterministic scripted replay; -mode live cannot drive it")
 	}
 	if cfg.checkpoint != "" && cfg.checkpointDir != "" {
 		return fmt.Errorf("-checkpoint and -checkpoint-dir are mutually exclusive")
@@ -218,6 +224,8 @@ func singleTenantSpec(cfg config) (fleet.TenantSpec, error) {
 		Checkpoint:      cfg.checkpoint,
 	}
 	switch {
+	case cfg.timeline != "":
+		spec.Source = "scenario:script:" + cfg.timeline
 	case cfg.scenario != "":
 		spec.Source = "file:" + cfg.scenario
 	case cfg.region == "europe" || cfg.region == "america":
@@ -264,48 +272,18 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	})
 	single := cfg.fleetPath == ""
 	if single {
-		// The one tenant is fed exactly as the pre-fleet daemon was:
-		// loadScenario keeps the legacy flag semantics to the letter
-		// (-seed 0 really is seed 0, unlike a JSON spec where 0 means
-		// "default"), and the feed is built from the flags directly.
 		spec, err := singleTenantSpec(cfg)
 		if err != nil {
 			return err
 		}
-		sc, err := loadScenario(cfg)
-		if err != nil {
-			return err
-		}
-		cycles := cfg.cycles
-		if cycles <= 0 {
-			cycles = int(^uint(0) >> 1) // run until interrupted
-		}
-		var feed fleet.Feed
-		switch cfg.mode {
-		case "live":
-			d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
-				Pollers:         cfg.pollers,
-				DropProb:        cfg.drop,
-				MinutesPerMilli: cfg.speed,
-				StepMinutes:     sc.Series.Cfg.StepMinutes,
-				Seed:            cfg.seed,
-			})
-			feed = fleet.Feed{
-				Store:   d.Store,
-				Collect: func(ctx context.Context) error { return d.RunContext(ctx, cycles) },
+		if cfg.timeline != "" {
+			// A scripted timeline builds its own compiled replay feed and
+			// arms the scripted routing hot-swaps; Fleet.Add owns that
+			// wiring (the same path a scenario:script fleet tenant takes).
+			if _, err := f.Add(spec); err != nil {
+				return err
 			}
-		case "replay":
-			store := collector.NewStore(sc.Net.NumPairs())
-			feed = fleet.Feed{
-				Store: store,
-				Collect: func(ctx context.Context) error {
-					return collector.Replay(ctx, store, sc.Series, cycles, cfg.pace)
-				},
-			}
-		default:
-			return fmt.Errorf("unknown -mode %q (replay or live)", cfg.mode)
-		}
-		if _, err := f.AddFeed(spec, sc, feed); err != nil {
+		} else if err := addClassicTenant(f, cfg, spec); err != nil {
 			return err
 		}
 	} else {
@@ -323,6 +301,54 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		return err
 	}
 
+	return serveFleet(ctx, f, cfg, out)
+}
+
+// addClassicTenant feeds the single tenant exactly as the pre-fleet
+// daemon was: loadScenario keeps the legacy flag semantics to the
+// letter (-seed 0 really is seed 0, unlike a JSON spec where 0 means
+// "default"), and the feed is built from the flags directly.
+func addClassicTenant(f *fleet.Fleet, cfg config, spec fleet.TenantSpec) error {
+	sc, err := loadScenario(cfg)
+	if err != nil {
+		return err
+	}
+	cycles := cfg.cycles
+	if cycles <= 0 {
+		cycles = int(^uint(0) >> 1) // run until interrupted
+	}
+	var feed fleet.Feed
+	switch cfg.mode {
+	case "live":
+		d := collector.NewDeployment(sc.Net, sc.Series, collector.DeploymentConfig{
+			Pollers:         cfg.pollers,
+			DropProb:        cfg.drop,
+			MinutesPerMilli: cfg.speed,
+			StepMinutes:     sc.Series.Cfg.StepMinutes,
+			Seed:            cfg.seed,
+		})
+		feed = fleet.Feed{
+			Store:   d.Store,
+			Collect: func(ctx context.Context) error { return d.RunContext(ctx, cycles) },
+		}
+	case "replay":
+		store := collector.NewStore(sc.Net.NumPairs())
+		feed = fleet.Feed{
+			Store: store,
+			Collect: func(ctx context.Context) error {
+				return collector.Replay(ctx, store, sc.Series, cycles, cfg.pace)
+			},
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (replay or live)", cfg.mode)
+	}
+	_, err = f.AddFeed(spec, sc, feed)
+	return err
+}
+
+// serveFleet binds the HTTP server over a fully declared (and possibly
+// restored) fleet and blocks until ctx is done.
+func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, out io.Writer) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -343,7 +369,7 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	fleetDone := make(chan error, 1)
 	go func() { fleetDone <- f.Run(runCtx) }()
 	srv := &http.Server{Handler: serve.New(runCtx, f, serve.Options{
-		Single:     single,
+		Single:     cfg.fleetPath == "",
 		MaxWaiters: cfg.maxWaiters,
 	}).Handler()}
 	serveErr := make(chan error, 1)

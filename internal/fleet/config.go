@@ -28,6 +28,10 @@ type TenantSpec struct {
 	//	europe | america        the paper's two subnetworks
 	//	scenario:<family spec>  a scenario-lab instance (internal/scenario),
 	//	                        replayed over its busy evaluation window
+	//	scenario:script:<file>  a timeline script (internal/timeline):
+	//	                        scripted demand events replayed with the
+	//	                        scripted routing hot-swaps armed on the
+	//	                        engine
 	//	file:<path>             a scenario JSON produced by tmgen
 	//
 	// Defaults to "europe".
@@ -38,7 +42,9 @@ type TenantSpec struct {
 	// scenario can be materialized with `tmgen` and loaded via file:).
 	Seed int64 `json:"seed,omitempty"`
 	// Cycles is the number of polling intervals to replay; 0 selects the
-	// default of 24, -1 replays forever (until the fleet stops).
+	// default of 24, -1 replays forever (until the fleet stops). A
+	// scenario:script tenant counts whole timeline passes instead (its
+	// script fixes the intervals per pass): default 1, -1 forever.
 	Cycles int `json:"cycles,omitempty"`
 	// Pace is the wall-clock time per replayed interval as a Go duration
 	// string ("100ms", "2s", "0"). Defaults to "100ms".

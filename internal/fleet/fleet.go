@@ -40,6 +40,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stream"
+	"repro/internal/timeline"
 	"repro/internal/traffic"
 )
 
@@ -75,11 +76,17 @@ type Tenant struct {
 	sc   *netsim.Scenario
 	eng  *stream.Engine
 	feed Feed
+	// tl is non-nil for scenario:script tenants: the compiled timeline
+	// whose replay drives the feed and whose topology swaps are armed on
+	// the engine (by Run, or by RestoreAll after moving a restored engine
+	// onto its checkpointed epoch).
+	tl *timeline.Timeline
 
-	mu       sync.Mutex
-	state    TenantState
-	err      error
-	restored bool
+	mu         sync.Mutex
+	state      TenantState
+	err        error
+	restored   bool
+	swapsArmed bool
 }
 
 // Name returns the tenant's unique name.
@@ -94,6 +101,23 @@ func (t *Tenant) Engine() *stream.Engine { return t.eng }
 
 // Scenario returns the subnetwork the tenant estimates over.
 func (t *Tenant) Scenario() *netsim.Scenario { return t.sc }
+
+// Timeline returns the compiled timeline of a scenario:script tenant,
+// nil for every other source.
+func (t *Tenant) Timeline() *timeline.Timeline { return t.tl }
+
+// armSwaps arms a script tenant's scripted topology swaps on its
+// engine, once; a no-op for other tenants and on repeat calls.
+func (t *Tenant) armSwaps() error {
+	t.mu.Lock()
+	armed := t.swapsArmed
+	t.swapsArmed = true
+	t.mu.Unlock()
+	if t.tl == nil || armed {
+		return nil
+	}
+	return t.tl.RegisterSwaps(t.eng)
+}
 
 func (t *Tenant) setState(s TenantState) {
 	t.mu.Lock()
@@ -127,6 +151,9 @@ type Status struct {
 	Pairs    int         `json:"pairs"`
 	Method   string      `json:"method"`
 	Restored bool        `json:"restored"`
+	// TopologyEpoch is the engine's active topology epoch — 0 except for
+	// scenario:script tenants past a scripted routing change.
+	TopologyEpoch int `json:"topology_epoch"`
 	// HaveSnapshot/Version/Interval mirror the engine's latest snapshot.
 	HaveSnapshot bool   `json:"have_snapshot"`
 	Version      uint64 `json:"version"`
@@ -139,13 +166,14 @@ func (t *Tenant) Status() Status {
 	st, terr, restored := t.state, t.err, t.restored
 	t.mu.Unlock()
 	s := Status{
-		Name:     t.spec.Name,
-		Source:   t.spec.Source,
-		State:    st,
-		PoPs:     t.sc.Net.NumPoPs(),
-		Pairs:    t.sc.Net.NumPairs(),
-		Method:   t.spec.Method,
-		Restored: restored,
+		Name:          t.spec.Name,
+		Source:        t.spec.Source,
+		State:         st,
+		PoPs:          t.sc.Net.NumPoPs(),
+		Pairs:         t.sc.Net.NumPairs(),
+		Method:        t.spec.Method,
+		Restored:      restored,
+		TopologyEpoch: t.eng.TopologyEpoch(),
 	}
 	if terr != nil {
 		s.Error = terr.Error()
@@ -208,6 +236,9 @@ func (f *Fleet) Pool() *runner.Pool { return f.pool }
 // loaded), the engine created in dispatch mode, and a deterministic
 // replay feed attached. Must be called before Run.
 func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
+	if strings.HasPrefix(spec.Source, "scenario:script:") {
+		return f.addScript(spec)
+	}
 	sc, series, err := buildSource(spec)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
@@ -228,6 +259,56 @@ func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
 		},
 	}
 	return f.add(spec, sc, feed)
+}
+
+// addScript materializes a scenario:script:<path> tenant: the timeline
+// script is parsed and compiled against its base instance, the feed
+// replays the compiled steps (outage holes and all), and the scripted
+// routing hot-swaps are armed on the engine when the fleet starts — or
+// replayed up to the checkpointed topology epoch by RestoreAll first.
+func (f *Fleet) addScript(spec TenantSpec) (*Tenant, error) {
+	fail := func(err error) (*Tenant, error) {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	script, err := timeline.ParseFile(strings.TrimPrefix(spec.Source, "scenario:script:"))
+	if err != nil {
+		return fail(err)
+	}
+	tl, _, err := scenario.BuildScript(script, seed)
+	if err != nil {
+		return fail(err)
+	}
+	pace, err := spec.pace()
+	if err != nil {
+		return fail(err)
+	}
+	// For a script tenant Cycles counts whole timeline passes — the
+	// script defines its own length in intervals — not single intervals:
+	// default 1, -1 repeats until the fleet stops.
+	cycles := spec.Cycles
+	switch {
+	case cycles == 0:
+		cycles = 1
+	case cycles < 0:
+		cycles = int(^uint(0) >> 1)
+	}
+	store := collector.NewStore(tl.Base.Net.NumPairs())
+	feed := Feed{
+		Store: store,
+		Collect: func(ctx context.Context) error {
+			return tl.Replay(ctx, store, cycles, pace)
+		},
+	}
+	t, err := f.add(spec, tl.Base, feed)
+	if err != nil {
+		return nil, err
+	}
+	t.tl = tl
+	return t, nil
 }
 
 // AddFeed declares a tenant over a caller-supplied measurement feed —
@@ -352,7 +433,7 @@ func buildSource(spec TenantSpec) (*netsim.Scenario, *traffic.Series, error) {
 		}
 		return sc, sc.Series, nil
 	}
-	return nil, nil, fmt.Errorf("source %q is not europe, america, scenario:<spec> or file:<path>", src)
+	return nil, nil, fmt.Errorf("source %q is not europe, america, scenario:<spec>, scenario:script:<file> or file:<path>", src)
 }
 
 // Tenants returns the tenants in declaration order.
@@ -401,12 +482,30 @@ func (f *Fleet) RestoreAll() (int, error) {
 		if err != nil {
 			return restored, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err)
 		}
+		if t.tl != nil {
+			// Restore demands the engine already be on the checkpoint's
+			// topology epoch: replay the script's swaps up to it (each
+			// applies immediately at interval 0), then arm the rest below.
+			for ep := t.eng.TopologyEpoch() + 1; ep <= cp.TopologyEpoch; ep++ {
+				rt, ok := t.tl.EpochRouting(ep)
+				if !ok {
+					return restored, fmt.Errorf("fleet: tenant %q: checkpoint %s is at topology epoch %d, the script only has %d",
+						t.spec.Name, path, cp.TopologyEpoch, len(t.tl.Epochs))
+				}
+				if err := t.eng.SwapRouting(rt, ep, 0); err != nil {
+					return restored, fmt.Errorf("fleet: tenant %q: moving onto checkpointed epoch %d: %w", t.spec.Name, ep, err)
+				}
+			}
+		}
 		if err := t.eng.Restore(cp); err != nil {
 			return restored, fmt.Errorf("fleet: tenant %q: restore %s: %w", t.spec.Name, path, err)
 		}
 		t.mu.Lock()
 		t.restored = true
 		t.mu.Unlock()
+		if err := t.armSwaps(); err != nil {
+			return restored, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err)
+		}
 		if snap, ok := t.eng.Latest(); ok {
 			f.opts.Logf("tenant %s: restored checkpoint %s (version %d, interval %d) — serving it now",
 				t.spec.Name, path, snap.Version, snap.Interval)
@@ -482,6 +581,10 @@ func (f *Fleet) Run(ctx context.Context) error {
 
 	for _, t := range tenants {
 		t := t
+		if err := t.armSwaps(); err != nil {
+			noteFail(t, err, "timeline")
+			continue
+		}
 		t.setState(StateRunning)
 		wg.Add(1)
 		go func() {

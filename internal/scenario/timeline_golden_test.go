@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+var update = flag.Bool("update", false, "rewrite golden compiled-timeline files")
+
+// TestTimelineGoldens compiles every committed example script with the
+// default seed and compares the compiled form (epochs + per-interval
+// totals, demands elided) against the golden files. Regenerate with
+//
+//	go test ./internal/scenario -run TestTimelineGoldens -update
+func TestTimelineGoldens(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("..", "..", "examples", "timelines", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) < 4 {
+		t.Fatalf("found %d example scripts, want the committed set of at least 4", len(scripts))
+	}
+	for _, path := range scripts {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			script, err := timeline.ParseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tl, _, err := BuildScript(script, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tl.WriteCompiled(&buf, false); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("compiled %s drifted from %s (run with -update to regenerate)", path, golden)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/stream"
+	"repro/internal/timeline"
+)
+
+// evalScript is a short scripted timeline exercising two discrete event
+// kinds over the default base: a flash crowd, then a failure/restore
+// cycle on the first interior adjacency.
+func evalScript(t *testing.T) *timeline.Script {
+	t.Helper()
+	s, err := timeline.Parse([]byte(`{"format":1,"intervals":18,"events":[
+		{"at":3,"flash_crowd":{"pair":["London","Paris"],"factor":4,"until":6}},
+		{"at":8,"fail_link":"Frankfurt-cr1-Brussels-cr1"},
+		{"at":13,"restore":"Frankfurt-cr1-Brussels-cr1"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func evalConfig() TimelineConfig {
+	// Small budgets keep the lockstep replay fast; entropy alone halves
+	// the work and determinism is per-method anyway.
+	return TimelineConfig{
+		Methods:        []stream.Method{stream.MethodEntropy, stream.MethodVardi},
+		Window:         4,
+		ResolveEvery:   2,
+		ResolveMaxIter: 400,
+	}
+}
+
+// TestEvaluateTimelineDeterministic pins the satellite requirement:
+// the same script and seed score byte-identically whether the method
+// fan-out runs on one worker or eight.
+func TestEvaluateTimelineDeterministic(t *testing.T) {
+	tl, _, err := BuildScript(evalScript(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		t.Helper()
+		scores, err := EvaluateTimeline(context.Background(), runner.NewPool(workers), tl, evalConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := render(1)
+	wide := render(8)
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("scores differ across pool sizes:\n-parallel 1: %s\n-parallel 8: %s", serial, wide)
+	}
+}
+
+// TestEvaluateTimelineScoresRecoveries checks the scoring surface: lag
+// and recovery are reported for at least two distinct event kinds, the
+// engines end on the restored epoch, and swapped re-solves stayed warm.
+func TestEvaluateTimelineScoresRecoveries(t *testing.T) {
+	tl, _, err := BuildScript(evalScript(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Epochs) != 3 {
+		t.Fatalf("%d epochs, want 3", len(tl.Epochs))
+	}
+	scores, err := EvaluateTimeline(context.Background(), runner.NewPool(2), tl, evalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("%d scores, want one per method", len(scores))
+	}
+	for _, sc := range scores {
+		if sc.FinalEpoch != 2 {
+			t.Errorf("%s: final epoch %d, want 2 (restored)", sc.Method, sc.FinalEpoch)
+		}
+		if sc.Resolves == 0 {
+			t.Errorf("%s: no re-solves executed", sc.Method)
+		}
+		if sc.WarmResolves == 0 {
+			t.Errorf("%s: every re-solve was cold; hot-swap should preserve warm starts", sc.Method)
+		}
+		kinds := map[string]int{}
+		for _, r := range sc.Recoveries {
+			kinds[r.Kind]++
+			if r.At < 0 || r.EffectiveAt < r.At {
+				t.Errorf("%s: recovery %q has anchors at=%d effective=%d", sc.Method, r.Event, r.At, r.EffectiveAt)
+			}
+			if r.Recovered && (r.RecoveredAt < r.EffectiveAt || r.LagWindows != r.RecoveredAt-r.EffectiveAt) {
+				t.Errorf("%s: recovery %q lag accounting: recovered_at=%d lag=%d", sc.Method, r.Event, r.RecoveredAt, r.LagWindows)
+			}
+		}
+		if len(kinds) < 2 {
+			t.Errorf("%s: recoveries cover %d event kinds (%v), want at least 2", sc.Method, len(kinds), kinds)
+		}
+		observed := 0
+		for _, e := range sc.Errors {
+			if e >= 0 {
+				observed++
+			}
+		}
+		if observed == 0 {
+			t.Errorf("%s: no per-interval errors observed", sc.Method)
+		}
+	}
+}

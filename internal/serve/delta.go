@@ -45,6 +45,7 @@ type DeltaScalars struct {
 	Covered           int           `json:"covered"`
 	Skipped           int           `json:"skipped"`
 	Drift             float64       `json:"drift"`
+	TopologyEpoch     int           `json:"topology_epoch"`
 	GravityMRE        float64       `json:"gravity_mre"`
 	ResolveMethod     stream.Method `json:"resolve_method,omitempty"`
 	ResolveMRE        float64       `json:"resolve_mre"`
@@ -145,6 +146,7 @@ func ComputeDelta(prev, next stream.Snapshot) *Delta {
 			Covered:           next.Covered,
 			Skipped:           next.Skipped,
 			Drift:             next.Drift,
+			TopologyEpoch:     next.TopologyEpoch,
 			GravityMRE:        next.GravityMRE,
 			ResolveMethod:     next.ResolveMethod,
 			ResolveMRE:        next.ResolveMRE,
@@ -204,6 +206,7 @@ func Apply(base stream.Snapshot, d *Delta) (stream.Snapshot, error) {
 		Covered:           d.Set.Covered,
 		Skipped:           d.Set.Skipped,
 		Drift:             d.Set.Drift,
+		TopologyEpoch:     d.Set.TopologyEpoch,
 		GravityMRE:        d.Set.GravityMRE,
 		ResolveMethod:     d.Set.ResolveMethod,
 		ResolveMRE:        d.Set.ResolveMRE,

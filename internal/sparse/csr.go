@@ -146,6 +146,30 @@ func (m *Matrix) At(r, c int) float64 {
 	return 0
 }
 
+// Equal reports whether m and o have the same shape and exactly the
+// same stored entries (CSR normal form makes this a linear comparison).
+// It is how a routing hot-swap detects that the "new" matrix is the one
+// already installed and degrades to a no-op.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m == o {
+		return true
+	}
+	if m == nil || o == nil || m.rows != o.rows || m.cols != o.cols || len(m.val) != len(o.val) {
+		return false
+	}
+	for r := 0; r <= m.rows; r++ {
+		if m.rowPtr[r] != o.rowPtr[r] {
+			return false
+		}
+	}
+	for k := range m.val {
+		if m.colIdx[k] != o.colIdx[k] || m.val[k] != o.val[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // Row calls fn(col, val) for each stored entry in row r, in column order.
 func (m *Matrix) Row(r int, fn func(c int, v float64)) {
 	for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {

@@ -11,8 +11,11 @@ import (
 
 // CheckpointFormat is the version tag written into every checkpoint
 // file. Load rejects unknown versions instead of guessing, so a format
-// change can never silently corrupt a restored engine.
-const CheckpointFormat = 1
+// change can never silently corrupt a restored engine. Format 2 added
+// TopologyEpoch for routing hot-swaps (SwapRouting); format-1 files are
+// still accepted and read as epoch 0, which is what every pre-swap
+// engine was.
+const CheckpointFormat = 2
 
 // checkpointEntry is one sliding-window interval in a checkpoint. Only
 // the collected demand vector is stored: link loads and the running
@@ -37,6 +40,11 @@ type Checkpoint struct {
 	NumPairs int    `json:"num_pairs"`
 	NumLinks int    `json:"num_links"`
 	Method   Method `json:"method"`
+	// TopologyEpoch is the active topology epoch at capture time. Restore
+	// demands the engine already be on the same epoch (hosts replay their
+	// SwapRouting calls first), because the ring's demand vectors must be
+	// re-expanded against the routing they will actually stream under.
+	TopologyEpoch int `json:"topology_epoch,omitempty"`
 
 	// Consumption state: the window ring and the next-interval cursor.
 	Ring     []checkpointEntry `json:"ring"`
@@ -68,13 +76,14 @@ type Checkpoint struct {
 // at most one already-published interval).
 func (e *Engine) Checkpoint() Checkpoint {
 	cp := Checkpoint{
-		Format:   CheckpointFormat,
-		NumPairs: e.rt.Net.NumPairs(),
-		NumLinks: e.rt.R.Rows(),
-		Method:   e.cfg.Method,
+		Format: CheckpointFormat,
+		Method: e.cfg.Method,
 	}
 
 	e.stateMu.Lock()
+	cp.NumPairs = e.rt.Net.NumPairs()
+	cp.NumLinks = e.rt.R.Rows()
+	cp.TopologyEpoch = e.epoch
 	cp.Ring = make([]checkpointEntry, len(e.ring))
 	for i, w := range e.ring {
 		cp.Ring[i] = checkpointEntry{Interval: w.interval, Demand: w.demand.Clone()}
@@ -122,12 +131,19 @@ func (e *Engine) Restore(cp Checkpoint) error {
 	if e.started.Load() {
 		return fmt.Errorf("stream: Restore after Run")
 	}
-	if cp.Format != CheckpointFormat {
+	if cp.Format != 1 && cp.Format != CheckpointFormat {
 		return fmt.Errorf("stream: checkpoint format %d, this build reads %d", cp.Format, CheckpointFormat)
 	}
-	if cp.NumPairs != e.rt.Net.NumPairs() || cp.NumLinks != e.rt.R.Rows() {
+	e.stateMu.Lock()
+	rt, epoch := e.rt, e.epoch
+	e.stateMu.Unlock()
+	if cp.TopologyEpoch != epoch {
+		return fmt.Errorf("stream: checkpoint is on topology epoch %d, engine on %d (SwapRouting to the checkpointed epoch before Restore)",
+			cp.TopologyEpoch, epoch)
+	}
+	if cp.NumPairs != rt.Net.NumPairs() || cp.NumLinks != rt.R.Rows() {
 		return fmt.Errorf("stream: checkpoint is for a %d-pair/%d-link scenario, engine has %d/%d",
-			cp.NumPairs, cp.NumLinks, e.rt.Net.NumPairs(), e.rt.R.Rows())
+			cp.NumPairs, cp.NumLinks, rt.Net.NumPairs(), rt.R.Rows())
 	}
 	if cp.Method != e.cfg.Method {
 		return fmt.Errorf("stream: checkpoint method %q, engine configured for %q (delete the checkpoint to switch)",
@@ -140,19 +156,19 @@ func (e *Engine) Restore(cp Checkpoint) error {
 		ring = ring[len(ring)-e.cfg.Window:]
 	}
 	entries := make([]windowEntry, len(ring))
-	loadSum := linalg.NewVector(e.rt.R.Rows())
-	demandSum := linalg.NewVector(e.rt.Net.NumPairs())
+	loadSum := linalg.NewVector(rt.R.Rows())
+	demandSum := linalg.NewVector(rt.Net.NumPairs())
 	next := cp.Next
 	for i, ce := range ring {
-		if len(ce.Demand) != e.rt.Net.NumPairs() {
+		if len(ce.Demand) != rt.Net.NumPairs() {
 			return fmt.Errorf("stream: checkpoint ring entry %d has %d demands, want %d",
-				i, len(ce.Demand), e.rt.Net.NumPairs())
+				i, len(ce.Demand), rt.Net.NumPairs())
 		}
 		if i > 0 && ce.Interval <= entries[i-1].interval {
 			return fmt.Errorf("stream: checkpoint ring intervals not increasing at entry %d", i)
 		}
 		demand := ce.Demand.Clone()
-		loads := e.rt.LinkLoads(demand)
+		loads := rt.LinkLoads(demand)
 		entries[i] = windowEntry{interval: ce.Interval, demand: demand, loads: loads}
 		linalg.Axpy(1, loads, loadSum)
 		linalg.Axpy(1, demand, demandSum)
@@ -160,9 +176,9 @@ func (e *Engine) Restore(cp Checkpoint) error {
 			next = ce.Interval + 1 // cursor can never trail the ring
 		}
 	}
-	if cp.PrevMean != nil && len(cp.PrevMean) != e.rt.Net.NumPairs() {
+	if cp.PrevMean != nil && len(cp.PrevMean) != rt.Net.NumPairs() {
 		return fmt.Errorf("stream: checkpoint prev-mean has %d demands, want %d",
-			len(cp.PrevMean), e.rt.Net.NumPairs())
+			len(cp.PrevMean), rt.Net.NumPairs())
 	}
 
 	e.stateMu.Lock()
@@ -193,10 +209,10 @@ func (e *Engine) Restore(cp Checkpoint) error {
 	e.driftPeak = cp.DriftPeak
 	e.prevMean = cloneVec(cp.PrevMean)
 	if cp.Snapshot != nil && cp.Snapshot.Resolve != nil &&
-		cp.Method != MethodFanout && len(cp.Snapshot.Resolve) == e.rt.Net.NumPairs() {
+		cp.Method != MethodFanout && len(cp.Snapshot.Resolve) == rt.Net.NumPairs() {
 		e.warmEst = cp.Snapshot.Resolve.Clone()
 	}
-	if len(cp.WarmAlpha) == e.rt.Net.NumPairs() {
+	if len(cp.WarmAlpha) == rt.Net.NumPairs() {
 		e.warmAlpha = cp.WarmAlpha.Clone()
 	}
 	e.stateMu.Unlock()

@@ -135,6 +135,11 @@ type Snapshot struct {
 	// previous interval's — the signal the adaptive re-solve cadence
 	// watches (0 on the first interval).
 	Drift float64 `json:"drift"`
+	// TopologyEpoch counts the routing hot-swaps applied so far (see
+	// SwapRouting): 0 until the first swap, then the host-assigned tag
+	// of the active topology. Intervals consumed under different epochs
+	// were measured under different routing matrices.
+	TopologyEpoch int `json:"topology_epoch"`
 
 	// Gravity is the incremental gravity estimate over the window mean
 	// (Mbps per PoP pair).
@@ -207,6 +212,7 @@ type MetricPoint struct {
 	Window            int       `json:"window"`
 	Covered           int       `json:"covered"`
 	Drift             float64   `json:"drift"`
+	TopologyEpoch     int       `json:"topology_epoch"`
 	GravityMRE        float64   `json:"gravity_mre"`
 	ResolveMRE        float64   `json:"resolve_mre"`
 	ResolveInterval   int       `json:"resolve_interval"`
@@ -223,8 +229,12 @@ type windowEntry struct {
 	loads    linalg.Vector // R·demand (L)
 }
 
-// resolveWork is one pending full re-solve request (latest wins).
+// resolveWork is one pending full re-solve request (latest wins). It
+// pins the routing the window's loads were computed under, so a re-solve
+// in flight across a routing hot-swap solves a consistent system instead
+// of mixing old loads with the new matrix.
 type resolveWork struct {
+	rt       *topology.Routing
 	interval int
 	loads    []linalg.Vector // window link loads, private copies
 	mean     linalg.Vector   // window-mean collected matrix
@@ -235,7 +245,6 @@ type resolveWork struct {
 // optionally Restore a checkpoint, drive it with Run (once), and read it
 // with Latest / WaitVersion / Metrics / Checkpoint from any goroutine.
 type Engine struct {
-	rt  *topology.Routing
 	cfg Config
 
 	// started flips once: Run is documented "at most once", and a second
@@ -251,7 +260,13 @@ type Engine struct {
 	// stateMu guards the consumption and warm-start state below, so
 	// Checkpoint can capture a consistent view while the Run goroutine
 	// and the resolve worker advance it. Never held together with mu.
+	// rt lives here too since SwapRouting replaces it mid-stream; the
+	// ingestion path reads it under the lock and re-solves pin the
+	// routing they were scheduled with (resolveWork.rt).
 	stateMu   sync.Mutex
+	rt        *topology.Routing
+	epoch     int           // active topology epoch tag (0 = as created)
+	swaps     []pendingSwap // scheduled hot-swaps, ordered by interval
 	ring      []windowEntry
 	loadSum   linalg.Vector
 	demandSum linalg.Vector
@@ -369,9 +384,12 @@ func (e *Engine) Run(ctx context.Context, store *collector.Store) error {
 }
 
 // skip records one interval dropped for insufficient coverage (or lost
-// entirely) and advances the cursor, atomically w.r.t. Checkpoint.
+// entirely) and advances the cursor, atomically w.r.t. Checkpoint. A
+// hot-swap scheduled at this interval still applies: the routing changed
+// whether or not the measurement survived.
 func (e *Engine) skip() {
 	e.stateMu.Lock()
+	e.applySwapsLocked(e.next)
 	e.skipped++
 	e.next++
 	e.stateMu.Unlock()
@@ -440,12 +458,14 @@ func (e *Engine) scan(store *collector.Store) {
 // consume folds one collected interval into the sliding window and
 // publishes a fresh snapshot with the incremental gravity estimate.
 func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
-	loads := e.rt.LinkLoads(rates)
-	net := e.rt.Net
+	e.stateMu.Lock()
+	e.applySwapsLocked(interval)
+	rt := e.rt
+	epoch := e.epoch
+	net := rt.Net
+	loads := rt.LinkLoads(rates)
 	te := linalg.NewVector(net.NumPoPs())
 	tx := linalg.NewVector(net.NumPoPs())
-
-	e.stateMu.Lock()
 	e.ring = append(e.ring, windowEntry{interval: interval, demand: rates, loads: loads})
 	linalg.Axpy(1, loads, e.loadSum)
 	linalg.Axpy(1, rates, e.demandSum)
@@ -465,8 +485,8 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	// sums, so the per-interval cost is O(L + P) plus the gravity product
 	// — no re-averaging of the window.
 	for pop := 0; pop < net.NumPoPs(); pop++ {
-		te[pop] = e.loadSum[e.rt.IngressRow(pop)] / k
-		tx[pop] = e.loadSum[e.rt.EgressRow(pop)] / k
+		te[pop] = e.loadSum[rt.IngressRow(pop)] / k
+		tx[pop] = e.loadSum[rt.EgressRow(pop)] / k
 	}
 	mean := e.demandSum.Clone()
 	mean.Scale(1 / k)
@@ -518,20 +538,21 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	gravity := core.GravityFromTotals(net, te, tx, nil)
 	thresh := core.ShareThreshold(mean, 0.9)
 	snap := Snapshot{
-		Interval:   interval,
-		Window:     windowLen,
-		Covered:    covered,
-		Skipped:    skipped,
-		Drift:      drift,
-		Gravity:    gravity,
-		Mean:       mean,
-		Fanouts:    traffic.FanoutsOf(net.NumPoPs(), mean),
-		GravityMRE: core.MRE(gravity, mean, thresh),
+		Interval:      interval,
+		Window:        windowLen,
+		Covered:       covered,
+		Skipped:       skipped,
+		Drift:         drift,
+		TopologyEpoch: epoch,
+		Gravity:       gravity,
+		Mean:          mean,
+		Fanouts:       traffic.FanoutsOf(net.NumPoPs(), mean),
+		GravityMRE:    core.MRE(gravity, mean, thresh),
 	}
 	e.publish(snap)
 
 	if schedule {
-		w := resolveWork{interval: interval, loads: loadsCopy, mean: mean, thresh: thresh}
+		w := resolveWork{rt: rt, interval: interval, loads: loadsCopy, mean: mean, thresh: thresh}
 		// Latest wins: drop a pending (not yet started) re-solve in favor
 		// of the newer window.
 		select {
@@ -602,6 +623,7 @@ func (e *Engine) installLocked(snap Snapshot) {
 		Window:            snap.Window,
 		Covered:           snap.Covered,
 		Drift:             snap.Drift,
+		TopologyEpoch:     snap.TopologyEpoch,
 		GravityMRE:        snap.GravityMRE,
 		ResolveMRE:        snap.ResolveMRE,
 		ResolveInterval:   snap.ResolveInterval,
@@ -698,7 +720,7 @@ func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool
 		cfg.SigmaInv2 = e.cfg.SigmaInv2
 		cfg.MaxIter = e.cfg.ResolveMaxIter
 		cfg.Tol = e.cfg.ResolveTol
-		lam, n, err := core.VardiFrom(e.rt, w.loads, cfg, warmEst)
+		lam, n, err := core.VardiFrom(w.rt, w.loads, cfg, warmEst)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -708,7 +730,7 @@ func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool
 		cfg := core.DefaultFanoutConfig()
 		cfg.MaxIter = e.cfg.ResolveMaxIter
 		cfg.Tol = e.cfg.ResolveTol
-		fe, err := core.EstimateFanoutsFrom(e.rt, w.loads, cfg, warmAlpha)
+		fe, err := core.EstimateFanoutsFrom(w.rt, w.loads, cfg, warmAlpha)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -720,7 +742,7 @@ func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool
 		linalg.Axpy(1, t, meanLoads)
 	}
 	meanLoads.Scale(1 / float64(len(w.loads)))
-	inst, err := core.NewInstance(e.rt, meanLoads)
+	inst, err := core.NewInstance(w.rt, meanLoads)
 	if err != nil {
 		return nil, 0, false, err
 	}

@@ -1,0 +1,377 @@
+package timeline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Epoch is one topology regime of a compiled timeline: the network and
+// routing in force from interval At until the next epoch begins. Index
+// is the tag the engine reports as Snapshot.TopologyEpoch; epoch 0 is
+// the base scenario unchanged.
+type Epoch struct {
+	Index int
+	At    int
+	Net   *topology.Network
+	Rt    *topology.Routing
+	// Failed names the adjacencies down in this epoch, in failure order,
+	// as canonical "RouterA-RouterB" strings.
+	Failed []string
+}
+
+// Step is one compiled interval: the scripted true demand, the epoch it
+// is measured under, and whether the collection missed it entirely (an
+// outage window).
+type Step struct {
+	Interval int
+	Epoch    int
+	Missing  bool
+	Demand   linalg.Vector
+}
+
+// Timeline is a compiled script: the scripted demand series plus the
+// epoch sequence, everything a replay feed and an evaluation harness
+// need. Compilation is pure — same scenario and script always yield the
+// same timeline.
+type Timeline struct {
+	Script *Script
+	Base   *netsim.Scenario
+	// Start is the base-series interval the timeline's interval 0 maps to.
+	Start  int
+	Epochs []Epoch
+	Steps  []Step
+}
+
+// adjacency is a bidirectional interior link pair, canonicalized by
+// router ID order.
+type adjacency struct {
+	a, b int
+	name string
+}
+
+// resolveAdjacency maps a fail_link/restore spec — an interior link ID
+// of the base network or "RouterA-RouterB" — to its canonical adjacency.
+func resolveAdjacency(net *topology.Network, spec string) (adjacency, error) {
+	canon := func(src, dst int) adjacency {
+		if src > dst {
+			src, dst = dst, src
+		}
+		return adjacency{a: src, b: dst, name: net.Routers[src].Name + "-" + net.Routers[dst].Name}
+	}
+	if id, err := strconv.Atoi(spec); err == nil {
+		if id < 0 || id >= net.NumLinks() || net.Links[id].Kind != topology.Interior {
+			return adjacency{}, fmt.Errorf("link %d is not an interior link of the base network", id)
+		}
+		return canon(net.Links[id].Src, net.Links[id].Dst), nil
+	}
+	names := func(src, dst int) (string, string) {
+		return net.Routers[src].Name, net.Routers[dst].Name
+	}
+	for _, l := range net.Links {
+		if l.Kind != topology.Interior {
+			continue
+		}
+		a, b := names(l.Src, l.Dst)
+		if spec == a+"-"+b || spec == b+"-"+a {
+			return canon(l.Src, l.Dst), nil
+		}
+	}
+	return adjacency{}, fmt.Errorf("unknown link %q", spec)
+}
+
+// resolvePoP maps a PoP name or decimal index to its index.
+func resolvePoP(net *topology.Network, name string) (int, error) {
+	for i, p := range net.PoPs {
+		if p.Name == name {
+			return i, nil
+		}
+	}
+	if i, err := strconv.Atoi(name); err == nil && i >= 0 && i < net.NumPoPs() {
+		return i, nil
+	}
+	return 0, fmt.Errorf("unknown PoP %q", name)
+}
+
+// routeFailed derives the network and routing with the given adjacency
+// set removed from the base, under the base scenario's routing model.
+// An empty set returns the base's own network and routing object, so a
+// full restoration swaps back to the byte-identical matrix.
+func routeFailed(sc *netsim.Scenario, failed []adjacency) (*topology.Network, *topology.Routing, error) {
+	if len(failed) == 0 {
+		return sc.Net, sc.Rt, nil
+	}
+	net := sc.Net
+	for _, adj := range failed {
+		id := -1
+		for _, l := range net.Links {
+			if l.Kind == topology.Interior &&
+				((l.Src == adj.a && l.Dst == adj.b) || (l.Src == adj.b && l.Dst == adj.a)) {
+				id = l.ID
+				break
+			}
+		}
+		if id < 0 {
+			return nil, nil, fmt.Errorf("adjacency %s vanished", adj.name)
+		}
+		net = topology.RemoveAdjacency(net, id)
+	}
+	var rt *topology.Routing
+	var err error
+	if sc.Model == netsim.RoutingECMP {
+		rt, err = net.RouteECMP()
+	} else {
+		rt, err = net.Route()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, rt, nil
+}
+
+// Compile materializes a script against its base scenario: the demand
+// series starting at base-series interval start (cycling modulo the
+// series length), with flash crowds and diurnal cycles applied, outage
+// windows marked missing, and one epoch per fail_link/restore event.
+func Compile(sc *netsim.Scenario, start int, s *Script) (*Timeline, error) {
+	n := len(sc.Series.Demands)
+	if n == 0 {
+		return nil, fmt.Errorf("timeline: base scenario has an empty demand series")
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("timeline: start interval %d outside the base series [0, %d)", start, n)
+	}
+
+	type crowd struct {
+		pair      int
+		factor    float64
+		at, until int
+	}
+	type cycle struct {
+		period    int
+		amplitude float64
+		at        int
+	}
+	var crowds []crowd
+	var cycles []cycle
+	var outages []*Outage
+	var outageAt []int
+
+	var failed []adjacency
+	epochs := []Epoch{{Index: 0, At: 0, Net: sc.Net, Rt: sc.Rt}}
+	lastTopoAt := -1
+	for _, ev := range s.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("timeline: event %d (at %d): %s", ev.Index, ev.At, fmt.Sprintf(format, args...))
+		}
+		switch ev.Kind {
+		case "flash_crowd":
+			src, err := resolvePoP(sc.Net, ev.FlashCrowd.Src)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			dst, err := resolvePoP(sc.Net, ev.FlashCrowd.Dst)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if src == dst {
+				return nil, fail("flash_crowd pair is the diagonal (%s to itself)", ev.FlashCrowd.Src)
+			}
+			crowds = append(crowds, crowd{
+				pair: sc.Net.PairIndex(src, dst), factor: ev.FlashCrowd.Factor,
+				at: ev.At, until: ev.FlashCrowd.Until,
+			})
+		case "fail_link", "restore":
+			adj, err := resolveAdjacency(sc.Net, ev.Link)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if ev.At <= lastTopoAt {
+				return nil, fail("second topology change at or before the previous one (at %d); the engine swaps at most once per interval", lastTopoAt)
+			}
+			pos := -1
+			for i, f := range failed {
+				if f == adj {
+					pos = i
+					break
+				}
+			}
+			if ev.Kind == "fail_link" {
+				if pos >= 0 {
+					return nil, fail("link %s is already failed", adj.name)
+				}
+				failed = append(failed, adj)
+			} else {
+				if pos < 0 {
+					return nil, fail("restore of link %s, which is not failed", adj.name)
+				}
+				failed = append(failed[:pos:pos], failed[pos+1:]...)
+			}
+			net, rt, err := routeFailed(sc, failed)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			names := make([]string, len(failed))
+			for i, f := range failed {
+				names[i] = f.name
+			}
+			epochs = append(epochs, Epoch{Index: len(epochs), At: ev.At, Net: net, Rt: rt, Failed: names})
+			lastTopoAt = ev.At
+		case "diurnal":
+			cycles = append(cycles, cycle{period: ev.Diurnal.Period, amplitude: ev.Diurnal.Amplitude, at: ev.At})
+		case "outage":
+			outages = append(outages, ev.Outage)
+			outageAt = append(outageAt, ev.At)
+		}
+	}
+
+	steps := make([]Step, s.Intervals)
+	epochIdx := 0
+	for t := 0; t < s.Intervals; t++ {
+		for epochIdx+1 < len(epochs) && epochs[epochIdx+1].At <= t {
+			epochIdx++
+		}
+		d := sc.Series.Demands[(start+t)%n].Clone()
+		for _, c := range crowds {
+			if t >= c.at && t < c.until {
+				d[c.pair] *= c.factor
+			}
+		}
+		for _, c := range cycles {
+			if t >= c.at {
+				d.Scale(1 + c.amplitude*math.Sin(2*math.Pi*float64(t-c.at)/float64(c.period)))
+			}
+		}
+		missing := false
+		for i, o := range outages {
+			if t >= outageAt[i] && t < o.Until {
+				missing = true
+				break
+			}
+		}
+		steps[t] = Step{Interval: t, Epoch: epochs[epochIdx].Index, Missing: missing, Demand: d}
+	}
+	return &Timeline{Script: s, Base: sc, Start: start, Epochs: epochs, Steps: steps}, nil
+}
+
+// EpochRouting returns the routing of the given epoch tag.
+func (tl *Timeline) EpochRouting(epoch int) (*topology.Routing, bool) {
+	if epoch < 0 || epoch >= len(tl.Epochs) {
+		return nil, false
+	}
+	return tl.Epochs[epoch].Rt, true
+}
+
+// RegisterSwaps arms every topology change of the timeline on an engine
+// via SwapRouting, skipping epochs the engine is already at or past (a
+// checkpoint-restored engine was moved onto its epoch before Restore).
+// Call it before the replay starts feeding; the engine applies each
+// swap when its own cursor reaches the epoch boundary.
+func (tl *Timeline) RegisterSwaps(eng *stream.Engine) error {
+	cur := eng.TopologyEpoch()
+	for _, ep := range tl.Epochs {
+		if ep.Index <= cur {
+			continue
+		}
+		if err := eng.SwapRouting(ep.Rt, ep.Index, ep.At); err != nil {
+			return fmt.Errorf("timeline: arming swap to epoch %d at interval %d: %w", ep.Index, ep.At, err)
+		}
+	}
+	return nil
+}
+
+// Replay ingests the compiled steps into a collector store as a
+// lossless poller would have measured them — outage intervals ingest
+// nothing, and the engine's close-out rule skips the hole once later
+// records arrive. cycles repeats the whole timeline (minimum 1); pace
+// is wall-clock time per interval (0 = as fast as possible). Repeats
+// continue the interval numbering, so a second cycle does not rewind
+// the engine's cursor; topology epochs only ever advance, so repeated
+// cycles stay on the final epoch's routing.
+func (tl *Timeline) Replay(ctx context.Context, store *collector.Store, cycles int, pace time.Duration) error {
+	if cycles < 1 {
+		cycles = 1
+	}
+	total := len(tl.Steps)
+	for c := 0; c < cycles; c++ {
+		for _, st := range tl.Steps {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !st.Missing {
+				interval := c*total + st.Interval
+				for p, mbps := range st.Demand {
+					store.Ingest(collector.RateRecord{LSP: p, Interval: interval, RateMbps: mbps, Poller: "timeline"})
+				}
+			}
+			if pace > 0 {
+				select {
+				case <-time.After(pace):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compiledFile is the JSON schema WriteCompiled emits — the scripted
+// series in the open, for tmgen -timeline and the golden-file tests.
+type compiledFile struct {
+	Base      string          `json:"base"`
+	Intervals int             `json:"intervals"`
+	Epochs    []compiledEpoch `json:"epochs"`
+	Steps     []compiledStep  `json:"steps"`
+}
+
+type compiledEpoch struct {
+	Index  int      `json:"index"`
+	At     int      `json:"at"`
+	Links  int      `json:"links"`
+	Failed []string `json:"failed,omitempty"`
+}
+
+type compiledStep struct {
+	Interval int       `json:"interval"`
+	Epoch    int       `json:"epoch"`
+	Missing  bool      `json:"missing,omitempty"`
+	TotalMbp float64   `json:"total_mbps"`
+	Demand   []float64 `json:"demand,omitempty"`
+}
+
+// WriteCompiled emits the compiled timeline as indented JSON. demands
+// controls whether full demand vectors are included (tmgen -timeline)
+// or only per-interval totals (the golden files, which would otherwise
+// drown the diff in matrix entries).
+func (tl *Timeline) WriteCompiled(w io.Writer, demands bool) error {
+	f := compiledFile{Base: tl.Script.Base, Intervals: tl.Script.Intervals}
+	for _, ep := range tl.Epochs {
+		f.Epochs = append(f.Epochs, compiledEpoch{
+			Index: ep.Index, At: ep.At, Links: ep.Net.NumLinks(), Failed: ep.Failed,
+		})
+	}
+	for _, st := range tl.Steps {
+		cs := compiledStep{
+			Interval: st.Interval, Epoch: st.Epoch, Missing: st.Missing,
+			TotalMbp: math.Round(st.Demand.Sum()*1e6) / 1e6,
+		}
+		if demands {
+			cs.Demand = st.Demand
+		}
+		f.Steps = append(f.Steps, cs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

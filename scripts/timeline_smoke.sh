@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Timeline smoke test, as run by CI's timeline-smoke job: build tmserve,
+# boot a 2-tenant fleet whose tenants are scripted timelines
+# (scenario:script:<file>) driving one full failure + restore cycle,
+# and gate on zero tenant errors plus a recovered snapshot — every
+# tenant finishing on topology epoch 2 (link failed, then restored)
+# with a served full re-solve.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pid=""
+cleanup() {
+  if [ -n "$pid" ]; then
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+addr="127.0.0.1:${TIMELINE_SMOKE_PORT:-17482}"
+base="http://$addr"
+
+say() { echo "timeline-smoke: $*"; }
+
+say "building tmserve"
+go build -o "$workdir/tmserve" ./cmd/tmserve
+
+# The committed failure+reroute script: 30 intervals, one adjacency
+# fails at interval 8 and is restored at 20. Two tenants share the
+# script at different seeds; ~20ms pace puts one full cycle around 600ms
+# and the whole job well under 10s.
+cp examples/timelines/failure_reroute.json "$workdir/failover.json"
+
+cat > "$workdir/fleet.json" <<JSON
+{
+  "format": 1,
+  "tenants": [
+    {"name": "tl-a", "source": "scenario:script:$workdir/failover.json", "seed": 1, "cycles": 1, "pace": "20ms", "window": 6, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "tl-b", "source": "scenario:script:$workdir/failover.json", "seed": 2, "cycles": 1, "pace": "20ms", "window": 6, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5}
+  ]
+}
+JSON
+names=(tl-a tl-b)
+
+say "booting 2-tenant scripted fleet"
+"$workdir/tmserve" -fleet "$workdir/fleet.json" -addr "$addr" &
+pid=$!
+for _ in $(seq 1 120); do
+  if curl -sf "$base/healthz" > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    say "daemon died during startup"; exit 1
+  fi
+  sleep 0.25
+done
+
+say "waiting for both timelines to ride through failure + restore"
+for _ in $(seq 1 240); do
+  done_count=0
+  for name in "${names[@]}"; do
+    snap=$(curl -sf "$base/t/$name/snapshot" 2>/dev/null) || continue
+    interval=$(echo "$snap" | jq -r '.interval // -1')
+    epoch=$(echo "$snap" | jq -r '.topology_epoch // 0')
+    resolve=$(echo "$snap" | jq -r '.resolve != null')
+    if [ "$interval" = "29" ] && [ "$epoch" = "2" ] && [ "$resolve" = "true" ]; then
+      done_count=$((done_count + 1))
+    fi
+  done
+  [ "$done_count" = "2" ] && break
+  sleep 0.25
+done
+
+for name in "${names[@]}"; do
+  snap=$(curl -sf "$base/t/$name/snapshot")
+  interval=$(echo "$snap" | jq -r .interval)
+  epoch=$(echo "$snap" | jq -r .topology_epoch)
+  warm=$(echo "$snap" | jq -r .resolve_warm)
+  resolve=$(echo "$snap" | jq -r '.resolve != null')
+  if [ "$interval" != "29" ] || [ "$epoch" != "2" ] || [ "$resolve" != "true" ]; then
+    say "tenant $name never recovered: interval=$interval epoch=$epoch resolve=$resolve"
+    curl -s "$base/tenants" | jq .
+    exit 1
+  fi
+  say "tenant $name: interval $interval, epoch $epoch, resolve served (warm=$warm)"
+done
+
+# Zero tenant errors: every tenant serving, none failed, fleet healthy.
+errors=$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "failed" or (.error // "") != "")] | length')
+if [ "$errors" != "0" ]; then
+  say "tenants reported errors"; curl -s "$base/tenants" | jq .; exit 1
+fi
+ok=$(curl -sf "$base/healthz" | jq -r .ok)
+if [ "$ok" != "true" ]; then
+  say "fleet unhealthy after the cycle"; exit 1
+fi
+
+say "PASS"
