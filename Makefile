@@ -47,13 +47,13 @@ bench-baseline:
 
 # Benchmark regression gate, as run by CI's bench job: the scale
 # benchmarks plus two seed-era anchors, compared against the checked-in
-# baselines at a 2x ns/op threshold (cmd/benchdiff; first baseline
-# containing a benchmark wins).
+# baselines at a 2x ns/op threshold and — via -benchmem — a 2x allocs/op
+# threshold (cmd/benchdiff; first baseline containing a benchmark wins).
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout|TimelineSwap' -benchtime 1x -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json -baseline BENCH_pr7.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout|TimelineSwap' -benchtime 1x -benchmem -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -alloc-factor 2 -baseline BENCH_pr8.json -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json -baseline BENCH_pr7.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag

@@ -13,6 +13,13 @@
 // 1 ms) are reported but not gated: a 100-microsecond benchmark measured
 // for one iteration jitters past any sane factor.
 //
+// When the input was produced with -benchmem, each benchmark's allocs/op
+// is additionally gated at -alloc-factor (default 2x) against the
+// baseline's allocs_per_op — allocation counts are deterministic where
+// wall-clock is noisy, so this catches a pooled hot path quietly losing
+// its buffer reuse. Baselines under -min-allocs (default 100) are shown
+// but not alloc-gated.
+//
 // Usage:
 //
 //	go test -bench Scale -benchtime 1x -run '^$' . | tee bench.out
@@ -51,6 +58,10 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 // benchLineRe matches e.g. "BenchmarkScaleEntropy100-8   1   2049837 ns/op".
 var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// allocsRe picks the -benchmem allocation count off a benchmark line,
+// e.g. "... 407988 B/op  613 allocs/op". Absent without -benchmem.
+var allocsRe = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
@@ -64,12 +75,17 @@ func run(args []string, out io.Writer) error {
 	fs.Var(&baselines, "baseline", "baseline JSON file (repeatable; first file containing a benchmark wins)")
 	factor := fs.Float64("factor", 2.0, "maximum allowed ns/op slowdown factor vs baseline")
 	minNs := fs.Float64("min-ns", 1e6, "noise floor: benchmarks whose baseline ns/op is below this are reported but not gated (single-iteration microbenchmarks jitter past any factor)")
+	allocFactor := fs.Float64("alloc-factor", 2.0, "maximum allowed allocs/op growth factor vs baseline (gated only when the input was run with -benchmem)")
+	minAllocs := fs.Float64("min-allocs", 100, "noise floor: benchmarks whose baseline allocs/op is below this are not alloc-gated (a handful of allocations doubles on scheduler whim)")
 	fs.Parse(args)
 	if len(baselines) == 0 {
 		return fmt.Errorf("at least one -baseline file is required")
 	}
 	if *factor <= 1 {
 		return fmt.Errorf("-factor must exceed 1, got %v", *factor)
+	}
+	if *allocFactor <= 1 {
+		return fmt.Errorf("-alloc-factor must exceed 1, got %v", *allocFactor)
 	}
 
 	base := make(map[string]baselineEntry)
@@ -127,10 +143,26 @@ func run(args []string, out io.Writer) error {
 			status = "fast" // below the noise floor: informational only
 		case ratio > *factor:
 			status = "FAIL"
+		}
+		line := fmt.Sprintf("%-50s %14.0f ns/op  baseline %14.0f  (%.2fx)",
+			name, cur, b.NsPerOp, ratio)
+		// Allocation gate: only when the input line carries -benchmem
+		// counts and the baseline has a count above the alloc noise floor.
+		if am := allocsRe.FindStringSubmatch(sc.Text()); am != nil && b.AllocsPerOp > 0 {
+			curAllocs, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			aRatio := curAllocs / b.AllocsPerOp
+			line += fmt.Sprintf("  %8.0f allocs/op  baseline %8.0f  (%.2fx)", curAllocs, b.AllocsPerOp, aRatio)
+			if b.AllocsPerOp >= *minAllocs && aRatio > *allocFactor {
+				status = "FAIL"
+			}
+		}
+		if status == "FAIL" {
 			failures++
 		}
-		fmt.Fprintf(out, "%-5s %-50s %14.0f ns/op  baseline %14.0f  (%.2fx)\n",
-			status, name, cur, b.NsPerOp, ratio)
+		fmt.Fprintf(out, "%-5s %s\n", status, line)
 	}
 	if err := sc.Err(); err != nil {
 		return err

@@ -85,6 +85,45 @@ func TestBenchdiff(t *testing.T) {
 		}
 	})
 
+	t.Run("fail-on-alloc-regression", func(t *testing.T) {
+		// ns/op is fine (1.0x) but allocs/op tripled past the 2x gate.
+		heavy := write(t, dir, "heavy.json", `{
+  "BenchmarkAlpha": {"ns_per_op": 1000, "bytes_per_op": 4096, "allocs_per_op": 200}
+}`)
+		bench := write(t, dir, "allocbad.out", "BenchmarkAlpha-4\t1\t1000 ns/op\t9000 B/op\t600 allocs/op\n")
+		var sb strings.Builder
+		err := run([]string{"-baseline", heavy, "-min-ns", "0", bench}, &sb)
+		if err == nil || !strings.Contains(err.Error(), "regressed") {
+			t.Fatalf("want alloc regression failure, got %v\n%s", err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "FAIL  BenchmarkAlpha") || !strings.Contains(sb.String(), "allocs/op") {
+			t.Errorf("output lacks alloc FAIL line:\n%s", sb.String())
+		}
+	})
+
+	t.Run("alloc-noise-floor", func(t *testing.T) {
+		// The seed baseline has 1 alloc/op: below -min-allocs, a 600x blowup
+		// is reported but not gated.
+		bench := write(t, dir, "allocsmall.out", "BenchmarkAlpha-4\t1\t1000 ns/op\t9000 B/op\t600 allocs/op\n")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", seed, "-min-ns", "0", bench}, &sb); err != nil {
+			t.Fatalf("sub-floor alloc baseline must not gate, got %v\n%s", err, sb.String())
+		}
+	})
+
+	t.Run("no-benchmem-no-alloc-gate", func(t *testing.T) {
+		// Input without -benchmem columns never alloc-gates, whatever the
+		// baseline says.
+		heavy := write(t, dir, "heavy2.json", `{
+  "BenchmarkAlpha": {"ns_per_op": 1000, "bytes_per_op": 4096, "allocs_per_op": 200}
+}`)
+		bench := write(t, dir, "noallocs.out", "BenchmarkAlpha-4\t1\t1000 ns/op\n")
+		var sb strings.Builder
+		if err := run([]string{"-baseline", heavy, "-min-ns", "0", bench}, &sb); err != nil {
+			t.Fatalf("input without allocs column must not gate, got %v\n%s", err, sb.String())
+		}
+	})
+
 	t.Run("no-bench-lines", func(t *testing.T) {
 		bench := write(t, dir, "empty.out", "PASS\nok  repro 1.0s\n")
 		var sb strings.Builder

@@ -16,17 +16,71 @@ type Store struct {
 	numLSPs int
 
 	mu        sync.Mutex
-	intervals map[int]linalg.Vector // interval -> per-LSP rates
-	seen      map[int]map[int]bool  // interval -> LSP set
-	records   int
-	latest    int // max interval ever ingested (-1 before the first)
-	pruned    int // intervals below this have been discarded for good
-	stopped   bool
-	subs      map[int]chan IntervalUpdate
-	nextSub   int
+	intervals map[int]*intervalState // interval -> rates + coverage
+	// free recycles the state of pruned intervals: a streaming consumer
+	// prunes as it goes, so an endless run creates each interval's rate
+	// vector and coverage set once and then cycles the same buffers
+	// forever. Stored vectors are never handed out (Matrix clones, Take
+	// transfers ownership out of the store first), so a pruned interval's
+	// buffers cannot be retained by anyone.
+	free    []*intervalState
+	records int
+	latest  int // max interval ever ingested (-1 before the first)
+	pruned  int // intervals below this have been discarded for good
+	stopped bool
+	subs    map[int]chan IntervalUpdate
+	nextSub int
 
 	ln net.Listener
 	wg sync.WaitGroup
+}
+
+// intervalState is everything the store holds for one polling interval:
+// the per-LSP rate vector and a fixed bitset (plus running popcount)
+// tracking which LSPs have reported. The previous design kept a
+// map[int]bool per interval that grew bucket by bucket as records
+// arrived, making ingestion the hottest allocation site in the whole
+// fleet; the bitset state is two allocations per interval (the struct —
+// with the bits inlined for backbones up to 512 LSPs — and the vector),
+// and both are recycled through Store.free once the interval is pruned.
+type intervalState struct {
+	v       linalg.Vector
+	covered int
+	bits    []uint64
+	small   [8]uint64 // inline backing for bits when numLSPs <= 512
+}
+
+func newIntervalState(numLSPs int) *intervalState {
+	st := &intervalState{}
+	if words := (numLSPs + 63) / 64; words <= len(st.small) {
+		st.bits = st.small[:words]
+	} else {
+		st.bits = make([]uint64, words)
+	}
+	st.v = linalg.NewVector(numLSPs)
+	return st
+}
+
+// reset clears a recycled state for a new interval, re-allocating the
+// rate vector only if Take transferred the previous one away.
+func (st *intervalState) reset(numLSPs int) {
+	if st.v == nil {
+		st.v = linalg.NewVector(numLSPs)
+	} else {
+		st.v.Zero()
+	}
+	for i := range st.bits {
+		st.bits[i] = 0
+	}
+	st.covered = 0
+}
+
+func (st *intervalState) add(lsp int) {
+	word, bit := lsp/64, uint64(1)<<(lsp%64)
+	if st.bits[word]&bit == 0 {
+		st.bits[word] |= bit
+		st.covered++
+	}
 }
 
 // IntervalUpdate notifies a subscriber that the store's view of an interval
@@ -41,8 +95,7 @@ type IntervalUpdate struct {
 func NewStore(numLSPs int) *Store {
 	return &Store{
 		numLSPs:   numLSPs,
-		intervals: make(map[int]linalg.Vector),
-		seen:      make(map[int]map[int]bool),
+		intervals: make(map[int]*intervalState),
 		latest:    -1,
 		subs:      make(map[int]chan IntervalUpdate),
 	}
@@ -68,10 +121,10 @@ func (s *Store) Prune(before int) {
 	if before > s.pruned {
 		s.pruned = before
 	}
-	for iv := range s.intervals {
+	for iv, st := range s.intervals {
 		if iv < s.pruned {
+			s.free = append(s.free, st)
 			delete(s.intervals, iv)
-			delete(s.seen, iv)
 		}
 	}
 }
@@ -199,20 +252,25 @@ func (s *Store) Ingest(rec RateRecord) {
 	if rec.Interval > s.latest {
 		s.latest = rec.Interval
 	}
-	v, ok := s.intervals[rec.Interval]
+	st, ok := s.intervals[rec.Interval]
 	if !ok {
-		v = linalg.NewVector(s.numLSPs)
-		s.intervals[rec.Interval] = v
-		s.seen[rec.Interval] = make(map[int]bool)
+		if n := len(s.free); n > 0 {
+			st = s.free[n-1]
+			s.free = s.free[:n-1]
+			st.reset(s.numLSPs)
+		} else {
+			st = newIntervalState(s.numLSPs)
+		}
+		s.intervals[rec.Interval] = st
 	}
 	// Backup pollers may report the same LSP twice; last write wins, which
 	// is also what the paper's central database does with re-uploads.
-	v[rec.LSP] = rec.RateMbps
-	s.seen[rec.Interval][rec.LSP] = true
+	st.v[rec.LSP] = rec.RateMbps
+	st.add(rec.LSP)
 	s.records++
 	s.notifyLocked(IntervalUpdate{
 		Interval: rec.Interval,
-		Covered:  len(s.seen[rec.Interval]),
+		Covered:  st.covered,
 		NumLSPs:  s.numLSPs,
 	})
 }
@@ -230,8 +288,11 @@ func (s *Store) Records() int {
 func (s *Store) Coverage(interval int) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seen, ok := s.seen[interval]
-	return len(seen), ok
+	st, ok := s.intervals[interval]
+	if !ok {
+		return 0, false
+	}
+	return st.covered, true
 }
 
 // Matrix returns the demand vector of an interval and how many LSPs it
@@ -239,11 +300,35 @@ func (s *Store) Coverage(interval int) (int, bool) {
 func (s *Store) Matrix(interval int) (linalg.Vector, int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v, ok := s.intervals[interval]
+	st, ok := s.intervals[interval]
 	if !ok {
 		return nil, 0, false
 	}
-	return v.Clone(), len(s.seen[interval]), true
+	return st.v.Clone(), st.covered, true
+}
+
+// Take is Matrix transferring ownership of the interval's rate vector to
+// the caller instead of cloning it: the interval is removed from the
+// store (its bookkeeping recycled), so the vector can never be written
+// again and the caller may retain it without a copy. It exists for the
+// store's sole consumer on the streaming path — a consumer that prunes
+// as it consumes (stream.Config.PruneConsumed) already owns the store's
+// history by contract; with multiple consumers, Take would make the
+// interval vanish for the others, so they must use Matrix. A record
+// arriving for a taken interval after the caller has pruned past it is
+// dropped like any other late record for a pruned interval.
+func (s *Store) Take(interval int) (linalg.Vector, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.intervals[interval]
+	if !ok {
+		return nil, 0, false
+	}
+	v, covered := st.v, st.covered
+	st.v = nil // ownership moved out; reset re-allocates on reuse
+	delete(s.intervals, interval)
+	s.free = append(s.free, st)
+	return v, covered, true
 }
 
 // Intervals returns the sorted list of known interval indices.

@@ -104,24 +104,29 @@ func Cao(rt *topology.Routing, loads []linalg.Vector, cfg CaoConfig) (linalg.Vec
 	lam.Fill(tHat.Sum() / float64(l) / float64(p) * float64(l))
 	w := math.Sqrt(cfg.SigmaInv2)
 
+	// Per-round buffers, allocated once: the builder keeps its entry
+	// capacity across Build calls (it truncates rather than releases), and
+	// the linearization/right-hand-side vectors are plain overwrites. Only
+	// the solved iterate is fresh each round (it becomes the next λ).
+	b := sparse.NewBuilder(l+next, p)
+	rhs := linalg.NewVector(l + next)
+	grad := make([]float64, p)
+	vcur := make([]float64, p)
+	residRHS := make([]float64, next)
+	var ws solver.Workspace
 	for round := 0; round < cfg.Rounds; round++ {
 		// Linearize: the second-moment row contributes coefficient
 		// d v_p / d λ_p = φ·c·λ_p^{c−1} at the current point; the constant
 		// part is folded into the right-hand side.
-		b := sparse.NewBuilder(l+next, p)
-		rhs := linalg.NewVector(l + next)
 		for li := 0; li < l; li++ {
 			rt.R.Row(li, func(cc int, v float64) { b.Add(li, cc, v) })
 		}
 		copy(rhs[:l], tHat)
-		grad := make([]float64, p)
-		vcur := make([]float64, p)
 		for pair := 0; pair < p; pair++ {
 			lp := math.Max(lam[pair], 1e-9)
 			vcur[pair] = cfg.Phi * math.Pow(lp, cfg.C)
 			grad[pair] = cfg.Phi * cfg.C * math.Pow(lp, cfg.C-1)
 		}
-		residRHS := make([]float64, next)
 		copy(residRHS, rhs2)
 		for _, e := range entries {
 			b.Add(l+e.row, e.pair, w*e.coeff*grad[e.pair])
@@ -131,11 +136,14 @@ func Cao(rt *topology.Routing, loads []linalg.Vector, cfg CaoConfig) (linalg.Vec
 			rhs[l+i] = w * v
 		}
 		sys := b.Build()
-		nextLam, res := solver.LeastSquaresNonneg(sys, rhs, nil, 0, lam, cfg.MaxIter, cfg.Tol)
+		// Each round's linearized system is a different matrix, so the
+		// cached operator norm never applies — drop it explicitly.
+		ws.InvalidateOperator()
+		nextLam, res := solver.LeastSquaresNonnegWS(&ws, sys, rhs, nil, 0, lam, cfg.MaxIter, cfg.Tol)
 		if !nextLam.AllFinite() {
 			return nil, fmt.Errorf("core: Cao diverged at round %d (%d iters)", round, res.Iterations)
 		}
-		diff := linalg.Sub(linalg.NewVector(p), nextLam, lam).Norm2()
+		diff := linalg.DiffNorm2(nextLam, lam)
 		norm := lam.Norm2() + 1e-30
 		lam = nextLam
 		if diff/norm < 1e-5 {

@@ -43,8 +43,22 @@ func gravityFrom(in *Instance, te, tx linalg.Vector, peers map[int]bool) linalg.
 // match a batch solve bit-for-bit (up to the running sums themselves).
 // peers may be nil.
 func GravityFromTotals(net *topology.Network, te, tx linalg.Vector, peers map[int]bool) linalg.Vector {
+	return GravityFromTotalsInto(nil, net, te, tx, peers)
+}
+
+// GravityFromTotalsInto is GravityFromTotals writing into dst, which is
+// used when it has exactly NumPairs elements and reallocated otherwise
+// (nil dst always allocates). The arithmetic — fill order, totals,
+// normalization — is identical to GravityFromTotals, so reusing a buffer
+// cannot perturb an estimate.
+func GravityFromTotalsInto(dst linalg.Vector, net *topology.Network, te, tx linalg.Vector, peers map[int]bool) linalg.Vector {
 	n := net.NumPoPs()
-	s := linalg.NewVector(net.NumPairs())
+	s := dst
+	if len(s) != net.NumPairs() {
+		s = linalg.NewVector(net.NumPairs())
+	} else {
+		s.Zero()
+	}
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {
 			if src == dst {

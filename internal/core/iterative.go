@@ -44,7 +44,7 @@ func IterativeBayesian(in *Instance, prior linalg.Vector, cfg IterativeBayesianC
 		if err != nil {
 			return nil, round, err
 		}
-		diff := linalg.Sub(linalg.NewVector(len(next)), next, cur).Norm2()
+		diff := linalg.DiffNorm2(next, cur)
 		norm := cur.Norm2() + 1e-30
 		cur = next
 		if diff/norm < cfg.Tol {

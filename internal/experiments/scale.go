@@ -8,12 +8,14 @@ import (
 )
 
 // scaleSpecs are the scenario-lab instances the scale driver evaluates:
-// two growth steps past the paper's largest (25-PoP) network up to a
-// 100-PoP / 9900-demand backbone, plus one instance of each perturbation
+// growth steps past the paper's largest (25-PoP) network up to a 300-PoP
+// / ~90k-demand backbone (solver budgets shrink linearly past 100 PoPs —
+// see scenario.Budget.ForSize), plus one instance of each perturbation
 // family at paper-adjacent sizes.
 var scaleSpecs = []string{
 	"scaled:50",
 	"scaled:100",
+	"scaled:300",
 	"failure:25:worst",
 	"ecmp:25:150",
 	"noisy:50:0.05",

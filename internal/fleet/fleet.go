@@ -36,9 +36,11 @@ import (
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/sparse"
 	"repro/internal/stream"
 	"repro/internal/timeline"
 	"repro/internal/traffic"
@@ -81,6 +83,13 @@ type Tenant struct {
 	// the engine (by Run, or by RestoreAll after moving a restored engine
 	// onto its checkpointed epoch).
 	tl *timeline.Timeline
+	// canon is the fleet SolveCache's canonical pointer for the tenant's
+	// routing matrix at Add time — the key the scheduler batches on, so
+	// tenants sharing a topology solve back-to-back and hit the cached
+	// operator norms / moment assemblies while they are hot. A scripted
+	// hot-swap makes it stale, which only weakens the batching hint;
+	// correctness never depends on it.
+	canon *sparse.Matrix
 
 	mu         sync.Mutex
 	state      TenantState
@@ -205,6 +214,11 @@ type Fleet struct {
 	pool    *runner.Pool
 	opts    Options
 	started atomic.Bool
+	// solve shares routing-matrix-derived solver artifacts (operator
+	// norms, Vardi moment assemblies) across all tenants: engines with
+	// equal routing matrices — the common case when many tenants replay
+	// the same scenario family — compute them once fleet-wide.
+	solve *core.SolveCache
 
 	mu       sync.Mutex
 	tenants  []*Tenant
@@ -223,6 +237,7 @@ func New(pool *runner.Pool, opts Options) *Fleet {
 	return &Fleet{
 		pool:     pool,
 		opts:     opts,
+		solve:    core.NewSolveCache(),
 		byName:   make(map[string]*Tenant),
 		inflight: make(map[string]bool),
 		kick:     make(chan struct{}, 1),
@@ -333,6 +348,7 @@ func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenant, e
 		return nil, err
 	}
 	cfg.ResolveDispatch = f.kickScheduler
+	cfg.Solve = f.solve
 	eng, err := stream.New(sc.Rt, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
@@ -340,7 +356,8 @@ func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenant, e
 	// Echo the engine's effective method back into the spec, so Status
 	// (and hosts printing banners) report "entropy", not "".
 	spec.Method = string(cfg.Method)
-	t := &Tenant{spec: spec, sc: sc, eng: eng, feed: feed, state: StateIdle}
+	t := &Tenant{spec: spec, sc: sc, eng: eng, feed: feed, state: StateIdle,
+		canon: f.solve.Canonical(sc.Rt.R)}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.byName[spec.Name] != nil {
@@ -685,22 +702,41 @@ func (f *Fleet) schedule(ctx context.Context) {
 	}
 }
 
-// claimNext picks the next tenant with a parked re-solve, round-robin
-// from where the previous claim left off, skipping tenants that are
-// already solving — the per-tenant in-flight cap of one that keeps a
-// big drifting tenant from occupying more than one pool slot.
-func (f *Fleet) claimNext() *Tenant {
+// claimNext picks the next tenant with a parked re-solve, skipping
+// tenants that are already solving — the per-tenant in-flight cap of
+// one that keeps a big drifting tenant from occupying more than one
+// pool slot. When the claiming slot just solved a tenant, prefer is
+// that tenant's canonical routing matrix and a pending tenant sharing
+// it is claimed first, so same-topology solves run back-to-back over
+// one hot set of cached matrix artifacts (a single routing-matrix
+// traversal/column-support build per wave instead of interleaving
+// topologies); otherwise the claim is round-robin from where the
+// previous one left off, preserving fairness across topology groups.
+func (f *Fleet) claimNext(prefer *sparse.Matrix) *Tenant {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := len(f.tenants)
-	for i := 0; i < n; i++ {
-		t := f.tenants[(f.rr+i)%n]
+	claim := func(t *Tenant) bool {
 		if f.inflight[t.spec.Name] || !t.eng.ResolvePending() {
-			continue
+			return false
 		}
 		f.inflight[t.spec.Name] = true
-		f.rr = (f.rr + i + 1) % n
-		return t
+		return true
+	}
+	if prefer != nil {
+		for i := 0; i < n; i++ {
+			t := f.tenants[(f.rr+i)%n]
+			if t.canon == prefer && claim(t) {
+				return t
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := f.tenants[(f.rr+i)%n]
+		if claim(t) {
+			f.rr = (f.rr + i + 1) % n
+			return t
+		}
 	}
 	return nil
 }
@@ -729,14 +765,18 @@ func (f *Fleet) quiesce() {
 // drain claims parked re-solves and executes them until none are left:
 // each claim is handed to a free pool helper when one exists and solved
 // on the calling goroutine otherwise, and a helper rejoins the drain
-// when its solve finishes — so every pool slot keeps pulling work,
-// round-robin, until the fleet is idle again.
+// when its solve finishes — so every pool slot keeps pulling work until
+// the fleet is idle again. Each slot remembers the topology it just
+// solved and asks claimNext for a same-topology tenant first (see
+// claimNext for why).
 func (f *Fleet) drain(ctx context.Context) {
+	var last *sparse.Matrix
 	for ctx.Err() == nil {
-		t := f.claimNext()
+		t := f.claimNext(last)
 		if t == nil {
 			return
 		}
+		last = t.canon
 		solve := func() {
 			t.eng.TryResolve(ctx)
 			f.release(t)

@@ -114,6 +114,34 @@ func (v Vector) Norm2() float64 {
 	return scale * math.Sqrt(ssq)
 }
 
+// DiffNorm2 returns ‖a − b‖₂ without materializing the difference vector,
+// using the same overflow-guarded scaling as Norm2 — so it is bit-for-bit
+// the value of Sub(NewVector(len(a)), a, b).Norm2(), minus the allocation.
+// It is the convergence-check kernel of every iterative solver in this
+// repository. It panics if the lengths differ.
+func DiffNorm2(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: DiffNorm2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var scale, ssq float64 = 0, 1
+	for i, x := range a {
+		x -= b[i]
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
 // RelL1 returns the relative L1 distance ‖a − b‖₁ / ‖b‖₁, or 0 when b
 // has no mass — the scale-free "how much did this move" metric shared
 // by the scenario lab's error scoring and the streaming engine's window

@@ -41,21 +41,45 @@ func DefaultBudget() Budget {
 	}
 }
 
+// ForSize returns the budget with its iteration caps scaled down
+// linearly for instances larger than the lab's 100-PoP / 9900-demand
+// design point, keeping total solver work (iterations × per-iteration
+// cost) roughly constant as the demand count grows. Instances at or
+// below the design point keep the caps unchanged, so the paper-adjacent
+// grid is unaffected.
+func (b Budget) ForSize(pairs int) Budget {
+	const refPairs = 9900
+	if pairs <= refPairs {
+		return b
+	}
+	scale := float64(refPairs) / float64(pairs)
+	if b.EntropyIter = int(float64(b.EntropyIter) * scale); b.EntropyIter < 1 {
+		b.EntropyIter = 1
+	}
+	if b.Vardi.MaxIter = int(float64(b.Vardi.MaxIter) * scale); b.Vardi.MaxIter < 1 {
+		b.Vardi.MaxIter = 1
+	}
+	return b
+}
+
 // Methods returns the cross-family method set under the given budget:
 // the gravity model (closed form), the entropy-regularized estimator with
 // a gravity prior, and Vardi's second-moment method over the busy-window
-// load series.
+// load series. Each solver cell applies the budget through ForSize, so
+// oversized instances get proportionally tighter iteration caps.
 func Methods(b Budget) []Method {
 	return []Method{
 		{Name: "gravity", Run: func(in *Instance) (linalg.Vector, int, error) {
 			return core.Gravity(in.Inst), 0, nil
 		}},
 		{Name: "entropy", Run: func(in *Instance) (linalg.Vector, int, error) {
+			bb := b.ForSize(in.Inst.NumPairs())
 			prior := core.Gravity(in.Inst)
-			return core.EntropyBudget(in.Inst, prior, b.EntropyReg, b.EntropyIter, b.EntropyTol)
+			return core.EntropyBudget(in.Inst, prior, bb.EntropyReg, bb.EntropyIter, bb.EntropyTol)
 		}},
 		{Name: "vardi", Run: func(in *Instance) (linalg.Vector, int, error) {
-			return core.VardiIters(in.Sc.Rt, in.Loads, b.Vardi)
+			bb := b.ForSize(in.Inst.NumPairs())
+			return core.VardiIters(in.Sc.Rt, in.Loads, bb.Vardi)
 		}},
 	}
 }

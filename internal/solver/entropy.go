@@ -26,55 +26,7 @@ func EntropyRegularized(a LinOp, b linalg.Vector, prior linalg.Vector, tau float
 // sequence of closely related problems is solved, e.g. the greedy
 // direct-measurement search of §5.3.6.
 func EntropyRegularizedFrom(a LinOp, b linalg.Vector, prior linalg.Vector, tau float64, x0 linalg.Vector, maxIter int, tol float64) (linalg.Vector, FISTAResult) {
-	n := a.Cols()
-	if len(prior) != n {
-		panic("solver: EntropyRegularized prior length mismatch")
-	}
-	var x linalg.Vector
-	if x0 != nil {
-		x = x0.Clone()
-	} else {
-		x = prior.Clone()
-	}
-	x.ClampNonNegative()
-	l := 2 * OperatorNormSq(a)
-	if l <= 0 {
-		l = 1
-	}
-	step := 1 / l
-	eta := step * tau // prox weight on the KL term
-
-	r := linalg.NewVector(a.Rows())
-	g := linalg.NewVector(n)
-	xPrev := linalg.NewVector(n)
-	res := FISTAResult{}
-	for iter := 0; iter < maxIter; iter++ {
-		copy(xPrev, x)
-		// Forward step on the quadratic part.
-		a.MulVec(r, x)
-		linalg.Sub(r, r, b)
-		a.MulVecT(g, r)
-		for i := range x {
-			z := x[i] - 2*step*g[i]
-			if prior[i] <= 0 {
-				x[i] = 0
-				continue
-			}
-			x[i] = klProx(z, prior[i], eta)
-		}
-		var diff, norm float64
-		for i := range x {
-			d := x[i] - xPrev[i]
-			diff += d * d
-			norm += x[i] * x[i]
-		}
-		res.Iterations = iter + 1
-		if diff <= tol*tol*(norm+1e-30) {
-			res.Converged = true
-			break
-		}
-	}
-	return x, res
+	return EntropyRegularizedFromWS(nil, a, b, prior, tau, x0, maxIter, tol)
 }
 
 // klProx solves the scalar proximal problem

@@ -33,16 +33,21 @@ func (o DenseOp) Cols() int { return o.M.Cols }
 // OperatorNormSq estimates ‖A‖₂² (the largest eigenvalue of AᵀA) by power
 // iteration, within a few percent — sufficient for a safe gradient step.
 func OperatorNormSq(a LinOp) float64 {
-	n := a.Cols()
-	if n == 0 || a.Rows() == 0 {
+	if a.Cols() == 0 || a.Rows() == 0 {
 		return 0
 	}
-	x := linalg.NewVector(n)
+	return operatorNormSq(a, linalg.NewVector(a.Cols()), linalg.NewVector(a.Rows()), linalg.NewVector(a.Cols()))
+}
+
+// operatorNormSq is the power iteration behind OperatorNormSq, writing
+// into caller-supplied scratch (x: cols, y: rows, z: cols).
+func operatorNormSq(a LinOp, x, y, z linalg.Vector) float64 {
+	if a.Cols() == 0 || a.Rows() == 0 {
+		return 0
+	}
 	for i := range x {
 		x[i] = 1 + float64(i%7)*0.1 // deterministic, not axis-aligned
 	}
-	y := linalg.NewVector(a.Rows())
-	z := linalg.NewVector(n)
 	var lam float64
 	for iter := 0; iter < 60; iter++ {
 		a.MulVec(y, x)
@@ -74,14 +79,17 @@ type FISTAResult struct {
 // project its argument onto the feasible set in place. x is updated in
 // place and also returned.
 func FISTA(x linalg.Vector, grad func(dst, x linalg.Vector), l float64, project func(linalg.Vector), maxIter int, tol float64) (linalg.Vector, FISTAResult) {
-	n := len(x)
+	return fista(x, x.Clone(), x.Clone(), linalg.NewVector(len(x)), grad, l, project, maxIter, tol)
+}
+
+// fista is the acceleration loop behind FISTA / FISTAWS, with the
+// momentum iterate y, previous iterate xPrev and gradient buffer g
+// supplied by the caller (y and xPrev already holding copies of x).
+func fista(x, y, xPrev, g linalg.Vector, grad func(dst, x linalg.Vector), l float64, project func(linalg.Vector), maxIter int, tol float64) (linalg.Vector, FISTAResult) {
 	if l <= 0 {
 		l = 1
 	}
 	step := 1 / l
-	y := x.Clone()
-	xPrev := x.Clone()
-	g := linalg.NewVector(n)
 	t := 1.0
 	for iter := 0; iter < maxIter; iter++ {
 		grad(g, y)
@@ -126,33 +134,5 @@ func FISTA(x linalg.Vector, grad func(dst, x linalg.Vector), l float64, project 
 // with FISTA. prior may be nil (treated as the origin) and damp may be 0.
 // x0 may be nil (starts from prior, or zero).
 func LeastSquaresNonneg(a LinOp, b linalg.Vector, prior linalg.Vector, damp float64, x0 linalg.Vector, maxIter int, tol float64) (linalg.Vector, FISTAResult) {
-	n := a.Cols()
-	var x linalg.Vector
-	switch {
-	case x0 != nil:
-		x = x0.Clone()
-	case prior != nil:
-		x = prior.Clone()
-	default:
-		x = linalg.NewVector(n)
-	}
-	x.ClampNonNegative()
-	l := 2*OperatorNormSq(a) + 2*damp
-	r := linalg.NewVector(a.Rows())
-	grad := func(dst, xx linalg.Vector) {
-		a.MulVec(r, xx)
-		linalg.Sub(r, r, b)
-		a.MulVecT(dst, r)
-		dst.Scale(2)
-		if damp > 0 {
-			for i := range dst {
-				p := 0.0
-				if prior != nil {
-					p = prior[i]
-				}
-				dst[i] += 2 * damp * (xx[i] - p)
-			}
-		}
-	}
-	return FISTA(x, grad, l, func(v linalg.Vector) { v.ClampNonNegative() }, maxIter, tol)
+	return LeastSquaresNonnegWS(nil, a, b, prior, damp, x0, maxIter, tol)
 }

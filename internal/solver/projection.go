@@ -6,22 +6,40 @@ import "sort"
 // probability simplex { x >= 0 : Σ x_i = radius }. It implements the exact
 // O(n log n) sort-based algorithm (Held, Wolfe & Crowder 1974).
 func ProjectSimplex(v []float64, radius float64) {
+	ProjectSimplexInto(v, radius, nil)
+}
+
+// ProjectSimplexInto is ProjectSimplex using scratch (grown as needed and
+// returned by value for reuse) to hold the sorted copy of v, so repeated
+// projections — one per source group per FISTA iteration in the fanout
+// solver — stop allocating. The projection is bit-identical to
+// ProjectSimplex: the copy is sorted ascending and walked backwards,
+// which visits coordinates in exactly the descending order the
+// allocating version sorts into.
+func ProjectSimplexInto(v []float64, radius float64, scratch []float64) []float64 {
 	n := len(v)
 	if n == 0 {
-		return
+		return scratch
 	}
 	if radius <= 0 {
 		for i := range v {
 			v[i] = 0
 		}
-		return
+		return scratch
 	}
-	u := append([]float64(nil), v...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	if cap(scratch) >= n {
+		scratch = scratch[:n]
+	} else {
+		scratch = make([]float64, n)
+	}
+	u := scratch
+	copy(u, v)
+	sort.Float64s(u)
 	var cssv float64
 	rho := -1
 	var theta float64
-	for i, ui := range u {
+	for i := 0; i < n; i++ {
+		ui := u[n-1-i]
 		cssv += ui
 		t := (cssv - radius) / float64(i+1)
 		if ui-t > 0 {
@@ -31,7 +49,7 @@ func ProjectSimplex(v []float64, radius float64) {
 	}
 	if rho < 0 {
 		// All mass concentrates on the largest coordinate.
-		theta = u[0] - radius
+		theta = u[n-1] - radius
 	}
 	for i := range v {
 		x := v[i] - theta
@@ -40,6 +58,7 @@ func ProjectSimplex(v []float64, radius float64) {
 		}
 		v[i] = x
 	}
+	return scratch
 }
 
 // ProjectBox overwrites v with its projection onto { x : lo <= x_i <= hi }.

@@ -33,14 +33,21 @@ func (m *Matrix) NNZ() int { return len(m.val) }
 
 // Builder accumulates entries row by row to build a CSR matrix. Entries may
 // be added to any row in any order; duplicates within a row are summed.
+//
+// A Builder may be reused across assemblies: Build truncates the entry
+// buffer without releasing its capacity, so a Grow-sized Builder driving a
+// repeated assembly loop (the Vardi/Cao second-moment systems) appends
+// into the same backing array every round instead of reallocating it.
 type Builder struct {
 	rows, cols int
-	entries    []triplet
+	entries    []Triplet
 }
 
-type triplet struct {
-	r, c int
-	v    float64
+// Triplet is one (row, col, value) coordinate entry, the exchange format
+// of NewFromTriplets and the Builder's internal accumulation record.
+type Triplet struct {
+	Row, Col int
+	Val      float64
 }
 
 // NewBuilder returns a Builder for a rows×cols matrix.
@@ -57,7 +64,7 @@ func (b *Builder) Grow(n int) {
 		return
 	}
 	if free := cap(b.entries) - len(b.entries); free < n {
-		grown := make([]triplet, len(b.entries), len(b.entries)+n)
+		grown := make([]Triplet, len(b.entries), len(b.entries)+n)
 		copy(grown, b.entries)
 		b.entries = grown
 	}
@@ -71,38 +78,41 @@ func (b *Builder) Add(r, c int, v float64) {
 	if v == 0 {
 		return
 	}
-	b.entries = append(b.entries, triplet{r, c, v})
+	b.entries = append(b.entries, Triplet{r, c, v})
 }
 
-// Build finalizes the matrix. The Builder may be reused afterwards but
-// starts empty.
+// Build finalizes the matrix. The Builder may be reused afterwards and
+// starts empty, but keeps its accumulated (and Grow-preallocated)
+// capacity — safe because NewFromTriplets copies the entries into fresh
+// CSR arrays, so the next assembly cannot alias the built matrix.
 func (b *Builder) Build() *Matrix {
 	m := NewFromTriplets(b.rows, b.cols, b.entries)
-	b.entries = nil
+	b.entries = b.entries[:0]
 	return m
 }
 
 // NewFromTriplets builds a CSR matrix from (row, col, value) triplets,
-// summing duplicates.
-func NewFromTriplets(rows, cols int, ts []triplet) *Matrix {
+// summing duplicates. The triplet slice is sorted in place (by row, then
+// column) as a side effect; its contents are copied, never retained.
+func NewFromTriplets(rows, cols int, ts []Triplet) *Matrix {
 	sort.Slice(ts, func(i, j int) bool {
-		if ts[i].r != ts[j].r {
-			return ts[i].r < ts[j].r
+		if ts[i].Row != ts[j].Row {
+			return ts[i].Row < ts[j].Row
 		}
-		return ts[i].c < ts[j].c
+		return ts[i].Col < ts[j].Col
 	})
 	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
 	for i := 0; i < len(ts); {
 		j := i + 1
-		v := ts[i].v
-		for j < len(ts) && ts[j].r == ts[i].r && ts[j].c == ts[i].c {
-			v += ts[j].v
+		v := ts[i].Val
+		for j < len(ts) && ts[j].Row == ts[i].Row && ts[j].Col == ts[i].Col {
+			v += ts[j].Val
 			j++
 		}
 		if v != 0 {
-			m.colIdx = append(m.colIdx, ts[i].c)
+			m.colIdx = append(m.colIdx, ts[i].Col)
 			m.val = append(m.val, v)
-			m.rowPtr[ts[i].r+1]++
+			m.rowPtr[ts[i].Row+1]++
 		}
 		i = j
 	}
@@ -227,40 +237,119 @@ func (m *Matrix) MulVecT(dst, x linalg.Vector) linalg.Vector {
 	return dst
 }
 
+// reshape points dst at a rows×cols layout with nnz stored entries,
+// reusing dst's backing arrays when their capacity suffices. A nil dst
+// allocates a fresh matrix. The returned matrix's arrays are NOT zeroed.
+func reshape(dst *Matrix, rows, cols, nnz int) *Matrix {
+	if dst == nil {
+		dst = &Matrix{}
+	}
+	dst.rows, dst.cols = rows, cols
+	if cap(dst.rowPtr) >= rows+1 {
+		dst.rowPtr = dst.rowPtr[:rows+1]
+	} else {
+		dst.rowPtr = make([]int, rows+1)
+	}
+	if cap(dst.colIdx) >= nnz {
+		dst.colIdx = dst.colIdx[:nnz]
+	} else {
+		dst.colIdx = make([]int, nnz)
+	}
+	if cap(dst.val) >= nnz {
+		dst.val = dst.val[:nnz]
+	} else {
+		dst.val = make([]float64, nnz)
+	}
+	return dst
+}
+
 // T returns the transpose as a new CSR matrix.
-func (m *Matrix) T() *Matrix {
-	b := NewBuilder(m.cols, m.rows)
+func (m *Matrix) T() *Matrix { return m.TInto(nil) }
+
+// TInto writes the transpose of m into dst, reusing dst's backing arrays
+// when they are large enough (nil dst allocates). dst must not be m. The
+// entries come out identical to T()'s — per transposed row in ascending
+// column order — so repeated re-assemblies (the Vardi/Cao second-moment
+// caches) can hold one reusable transpose buffer.
+func (m *Matrix) TInto(dst *Matrix) *Matrix {
+	if dst == m {
+		panic("sparse: TInto dst must not alias the receiver")
+	}
+	dst = reshape(dst, m.cols, m.rows, len(m.val))
+	for i := range dst.rowPtr {
+		dst.rowPtr[i] = 0
+	}
+	for _, c := range m.colIdx {
+		dst.rowPtr[c+1]++
+	}
+	for r := 0; r < dst.rows; r++ {
+		dst.rowPtr[r+1] += dst.rowPtr[r]
+	}
+	// next[c] tracks the insertion cursor of transposed row c; walking m's
+	// rows in order lands each transposed row's entries in ascending
+	// original-row (= new column) order, matching the builder-based layout.
+	next := dst.rowPtr
+	cursor := make([]int, dst.rows)
+	copy(cursor, next[:dst.rows])
 	for r := 0; r < m.rows; r++ {
 		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
-			b.Add(m.colIdx[k], r, m.val[k])
+			c := m.colIdx[k]
+			dst.colIdx[cursor[c]] = r
+			dst.val[cursor[c]] = m.val[k]
+			cursor[c]++
 		}
 	}
-	return b.Build()
+	return dst
 }
 
 // SelectRows returns a new matrix consisting of the given rows of m, in
 // order. Row indices may repeat.
-func (m *Matrix) SelectRows(rows []int) *Matrix {
-	b := NewBuilder(len(rows), m.cols)
-	for i, r := range rows {
-		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
-			b.Add(i, m.colIdx[k], m.val[k])
-		}
+func (m *Matrix) SelectRows(rows []int) *Matrix { return m.SelectRowsInto(nil, rows) }
+
+// SelectRowsInto writes the selected rows of m (in order, repeats
+// allowed) into dst, reusing dst's backing arrays when they are large
+// enough (nil dst allocates). dst must not be m. Each source row's
+// entries are already in CSR normal form, so the copy is direct.
+func (m *Matrix) SelectRowsInto(dst *Matrix, rows []int) *Matrix {
+	if dst == m {
+		panic("sparse: SelectRowsInto dst must not alias the receiver")
 	}
-	return b.Build()
+	nnz := 0
+	for _, r := range rows {
+		nnz += m.rowPtr[r+1] - m.rowPtr[r]
+	}
+	dst = reshape(dst, len(rows), m.cols, nnz)
+	dst.rowPtr[0] = 0
+	at := 0
+	for i, r := range rows {
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		at += copy(dst.colIdx[at:], m.colIdx[lo:hi])
+		copy(dst.val[at-(hi-lo):], m.val[lo:hi])
+		dst.rowPtr[i+1] = at
+	}
+	return dst
 }
 
 // Scale returns a new matrix with every entry multiplied by a.
-func (m *Matrix) Scale(a float64) *Matrix {
-	s := &Matrix{rows: m.rows, cols: m.cols,
-		rowPtr: append([]int(nil), m.rowPtr...),
-		colIdx: append([]int(nil), m.colIdx...),
-		val:    make([]float64, len(m.val)),
+func (m *Matrix) Scale(a float64) *Matrix { return m.ScaleInto(nil, a) }
+
+// ScaleInto writes a copy of m with every entry multiplied by a into
+// dst, reusing dst's backing arrays when they are large enough (nil dst
+// allocates). dst may be m itself for an in-place scale.
+func (m *Matrix) ScaleInto(dst *Matrix, a float64) *Matrix {
+	if dst == m {
+		for i := range m.val {
+			m.val[i] *= a
+		}
+		return m
 	}
+	dst = reshape(dst, m.rows, m.cols, len(m.val))
+	copy(dst.rowPtr, m.rowPtr)
+	copy(dst.colIdx, m.colIdx)
 	for i, v := range m.val {
-		s.val[i] = v * a
+		dst.val[i] = v * a
 	}
-	return s
+	return dst
 }
 
 // VStack stacks matrices vertically. All must share the same column count.

@@ -49,13 +49,20 @@ func MeanVector(samples []linalg.Vector) linalg.Vector {
 	if len(samples) == 0 {
 		return nil
 	}
-	n := len(samples[0])
-	m := linalg.NewVector(n)
+	return MeanVectorInto(linalg.NewVector(len(samples[0])), samples)
+}
+
+// MeanVectorInto writes the element-wise mean of the samples into dst
+// (which must have the samples' length) and returns it — the reusable
+// kernel behind MeanVector for callers that recompute window means every
+// re-solve.
+func MeanVectorInto(dst linalg.Vector, samples []linalg.Vector) linalg.Vector {
+	dst.Zero()
 	for _, s := range samples {
-		linalg.Axpy(1, s, m)
+		linalg.Axpy(1, s, dst)
 	}
-	m.Scale(1 / float64(len(samples)))
-	return m
+	dst.Scale(1 / float64(len(samples)))
+	return dst
 }
 
 // CovarianceMatrix returns the sample covariance matrix (population
@@ -65,9 +72,23 @@ func CovarianceMatrix(samples []linalg.Vector) *linalg.Matrix {
 		return linalg.NewMatrix(0, 0)
 	}
 	n := len(samples[0])
-	mean := MeanVector(samples)
-	cov := linalg.NewMatrix(n, n)
-	d := linalg.NewVector(n)
+	return CovarianceMatrixInto(linalg.NewMatrix(n, n), linalg.NewVector(n), linalg.NewVector(n), samples)
+}
+
+// CovarianceMatrixInto is CovarianceMatrix writing into caller-supplied
+// scratch: cov must be n×n, mean and d length n (n the sample length).
+// All three are overwritten; cov is returned. Reusing them across the
+// streaming engine's periodic Vardi re-solves removes the largest
+// per-solve allocation (the dense L×L covariance).
+func CovarianceMatrixInto(cov *linalg.Matrix, mean, d linalg.Vector, samples []linalg.Vector) *linalg.Matrix {
+	n := len(samples[0])
+	if cov.Rows != n || cov.Cols != n || len(mean) != n || len(d) != n {
+		panic("stats: CovarianceMatrixInto scratch size mismatch")
+	}
+	MeanVectorInto(mean, samples)
+	for i := range cov.Data {
+		cov.Data[i] = 0
+	}
 	for _, s := range samples {
 		linalg.Sub(d, s, mean)
 		for i := 0; i < n; i++ {

@@ -113,6 +113,13 @@ type Config struct {
 	// ResolveDispatch runs on the engine's ingestion goroutine and must
 	// not block.
 	ResolveDispatch func()
+	// Solve, when non-nil, shares routing-matrix-derived solver artifacts
+	// (power-iteration operator norms, Vardi moment assemblies) across
+	// engines: tenants whose routing matrices are equal reuse one entry
+	// (internal/fleet passes its fleet-wide cache here). Nil gives the
+	// engine a private cache, which still amortizes those artifacts
+	// across its own re-solves.
+	Solve *core.SolveCache
 }
 
 // Snapshot is one published state of the evolving traffic matrix. All
@@ -179,6 +186,17 @@ type Snapshot struct {
 
 	// Time is the wall-clock publication time.
 	Time time.Time `json:"time"`
+}
+
+// sizedBuf returns *p resized to n, reusing its backing array when
+// possible — the engine's arena primitive.
+func sizedBuf(p *linalg.Vector, n int) linalg.Vector {
+	if cap(*p) >= n {
+		*p = (*p)[:n]
+	} else {
+		*p = linalg.NewVector(n)
+	}
+	return *p
 }
 
 // cloneVec deep-copies a vector, preserving nil (Resolve's "no re-solve
@@ -251,11 +269,11 @@ type Engine struct {
 	// call must fail cleanly instead of double-closing e.work.
 	started atomic.Bool
 
-	mu       sync.RWMutex
-	snap     Snapshot
-	have     bool
-	updateCh chan struct{} // closed and replaced on every publication
-	metrics  []MetricPoint
+	mu      sync.RWMutex
+	snap    Snapshot
+	have    bool
+	waiters []chan struct{} // one per parked WaitVersion; closed on publication
+	metrics []MetricPoint
 
 	// stateMu guards the consumption and warm-start state below, so
 	// Checkpoint can capture a consistent view while the Run goroutine
@@ -288,6 +306,20 @@ type Engine struct {
 
 	work     chan resolveWork
 	workerWG sync.WaitGroup
+
+	// Buffer arena, reused between publications instead of allocating per
+	// interval / per re-solve. Single-owner invariants: the ingestion
+	// goroutine (consume) owns teBuf/txBuf and ingestWS; whichever
+	// goroutine executes resolve — the engine's own worker or the host's
+	// TryResolve caller, never both at once — owns ws and meanBuf.
+	// Everything a published Snapshot or a parked resolveWork retains
+	// (mean, gravity, fanouts, estimates, ring load vectors) stays
+	// freshly allocated and is never recycled.
+	teBuf, txBuf linalg.Vector
+	ingestWS     *core.Workspace
+	ws           *core.Workspace
+	meanBuf      linalg.Vector
+	instBuf      core.Instance
 }
 
 // New creates an Engine estimating over the given routing.
@@ -333,14 +365,28 @@ func New(rt *topology.Routing, cfg Config) (*Engine, error) {
 	if cfg.MetricsHistory <= 0 {
 		cfg.MetricsHistory = 1024
 	}
+	if cfg.Solve == nil {
+		cfg.Solve = core.NewSolveCache()
+	}
+	// Presize the window ring (copy-down sliding keeps this its lifetime
+	// capacity) and the metrics log's first growth steps.
+	var ringCap int
+	if cfg.Window > 0 {
+		ringCap = cfg.Window + 1
+	}
 	return &Engine{
+		ring:      make([]windowEntry, 0, ringCap),
+		metrics:   make([]MetricPoint, 0, min(cfg.MetricsHistory, 64)),
 		rt:        rt,
 		cfg:       cfg,
-		updateCh:  make(chan struct{}),
 		loadSum:   linalg.NewVector(rt.R.Rows()),
 		demandSum: linalg.NewVector(rt.Net.NumPairs()),
 		curEvery:  cfg.ResolveEvery,
 		work:      make(chan resolveWork, 1),
+		teBuf:     linalg.NewVector(rt.Net.NumPoPs()),
+		txBuf:     linalg.NewVector(rt.Net.NumPoPs()),
+		ingestWS:  core.NewWorkspace(cfg.Solve),
+		ws:        core.NewWorkspace(cfg.Solve),
 	}, nil
 }
 
@@ -400,7 +446,7 @@ func (e *Engine) skip() {
 // coverage anymore).
 func (e *Engine) finalDrain(store *collector.Store) {
 	for latest := store.LatestInterval(); e.next <= latest; {
-		rates, covered, ok := store.Matrix(e.next)
+		rates, covered, ok := e.intervalRates(store)
 		if ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()) {
 			e.consume(e.next, rates, covered)
 		} else {
@@ -410,6 +456,17 @@ func (e *Engine) finalDrain(store *collector.Store) {
 	if e.cfg.PruneConsumed {
 		store.Prune(e.next)
 	}
+}
+
+// intervalRates fetches the consumable interval's demand vector. A
+// prune-as-you-go engine is the store's sole consumer by contract, so
+// it takes ownership of the stored vector outright (no per-interval
+// clone); otherwise it copies, leaving the interval for other readers.
+func (e *Engine) intervalRates(store *collector.Store) (linalg.Vector, int, bool) {
+	if e.cfg.PruneConsumed {
+		return store.Take(e.next)
+	}
+	return store.Matrix(e.next)
 }
 
 // scan consumes every interval that is ready, in order, then (with
@@ -439,7 +496,7 @@ func (e *Engine) scan(store *collector.Store) {
 		full := ok && covered == store.NumLSPs()
 		switch {
 		case full, closed && ok && float64(covered) >= e.cfg.MinCoverage*float64(store.NumLSPs()):
-			rates, covered, ok := store.Matrix(e.next)
+			rates, covered, ok := e.intervalRates(store)
 			if !ok { // pruned under our feet; cannot happen with one consumer
 				e.skip()
 				continue
@@ -464,14 +521,18 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	epoch := e.epoch
 	net := rt.Net
 	loads := rt.LinkLoads(rates)
-	te := linalg.NewVector(net.NumPoPs())
-	tx := linalg.NewVector(net.NumPoPs())
+	te := sizedBuf(&e.teBuf, net.NumPoPs())
+	tx := sizedBuf(&e.txBuf, net.NumPoPs())
 	e.ring = append(e.ring, windowEntry{interval: interval, demand: rates, loads: loads})
 	linalg.Axpy(1, loads, e.loadSum)
 	linalg.Axpy(1, rates, e.demandSum)
 	if e.cfg.Window > 0 && len(e.ring) > e.cfg.Window {
+		// Slide by copying down rather than re-slicing, so the ring keeps
+		// its full capacity forever (a re-sliced ring sheds one slot per
+		// interval and re-grows, allocating on an endless run).
 		old := e.ring[0]
-		e.ring = e.ring[1:]
+		copy(e.ring, e.ring[1:])
+		e.ring = e.ring[:len(e.ring)-1]
 		linalg.Axpy(-1, old.loads, e.loadSum)
 		linalg.Axpy(-1, old.demand, e.demandSum)
 	}
@@ -528,15 +589,21 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	}
 	var loadsCopy []linalg.Vector
 	if schedule {
+		// The ring's load vectors are immutable once created (consume
+		// builds each exactly once and the window only drops entries, it
+		// never recycles them), so the parked re-solve shares them
+		// directly; only the slice header is fresh, since a parked work
+		// may still be read by the solving goroutine while later consumes
+		// run.
 		loadsCopy = make([]linalg.Vector, windowLen)
 		for i, w := range e.ring {
-			loadsCopy[i] = w.loads.Clone()
+			loadsCopy[i] = w.loads
 		}
 	}
 	e.stateMu.Unlock()
 
 	gravity := core.GravityFromTotals(net, te, tx, nil)
-	thresh := core.ShareThreshold(mean, 0.9)
+	thresh := core.ShareThresholdWS(e.ingestWS, mean, 0.9)
 	snap := Snapshot{
 		Interval:      interval,
 		Window:        windowLen,
@@ -635,8 +702,13 @@ func (e *Engine) installLocked(snap Snapshot) {
 	if len(e.metrics) > e.cfg.MetricsHistory {
 		e.metrics = e.metrics[len(e.metrics)-e.cfg.MetricsHistory:]
 	}
-	close(e.updateCh)
-	e.updateCh = make(chan struct{})
+	// Wake every parked WaitVersion. Publishing with no waiters — the
+	// steady state — touches no channel at all, where the old
+	// close-and-replace channel scheme allocated one per publication.
+	for _, ch := range e.waiters {
+		close(ch)
+	}
+	e.waiters = e.waiters[:0]
 }
 
 // resolveWorker runs full re-solves one at a time on its own goroutine.
@@ -720,7 +792,7 @@ func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool
 		cfg.SigmaInv2 = e.cfg.SigmaInv2
 		cfg.MaxIter = e.cfg.ResolveMaxIter
 		cfg.Tol = e.cfg.ResolveTol
-		lam, n, err := core.VardiFrom(w.rt, w.loads, cfg, warmEst)
+		lam, n, err := core.VardiFromWS(e.ws, w.rt, w.loads, cfg, warmEst)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -730,29 +802,34 @@ func (e *Engine) resolve(w resolveWork) (est linalg.Vector, iters int, warm bool
 		cfg := core.DefaultFanoutConfig()
 		cfg.MaxIter = e.cfg.ResolveMaxIter
 		cfg.Tol = e.cfg.ResolveTol
-		fe, err := core.EstimateFanoutsFrom(w.rt, w.loads, cfg, warmAlpha)
+		fe, err := core.EstimateFanoutsFromWS(e.ws, w.rt, w.loads, cfg, warmAlpha)
 		if err != nil {
 			return nil, 0, false, err
 		}
 		e.setWarm(fe.MeanDemand, fe.Alpha)
 		return fe.MeanDemand, fe.Iterations, warmAlpha != nil, nil
 	}
-	meanLoads := linalg.NewVector(len(w.loads[0]))
+	meanLoads := sizedBuf(&e.meanBuf, len(w.loads[0]))
+	meanLoads.Zero()
 	for _, t := range w.loads {
 		linalg.Axpy(1, t, meanLoads)
 	}
 	meanLoads.Scale(1 / float64(len(w.loads)))
-	inst, err := core.NewInstance(w.rt, meanLoads)
-	if err != nil {
-		return nil, 0, false, err
+	if len(meanLoads) != w.rt.R.Rows() {
+		return nil, 0, false, fmt.Errorf("stream: %d loads for %d links", len(meanLoads), w.rt.R.Rows())
 	}
-	prior := core.Gravity(inst)
+	// The instance and gravity prior live only for this solve (solvers
+	// read them, the published estimate is always fresh), so both come
+	// out of the resolve-owned arena instead of being allocated per call.
+	e.instBuf = core.Instance{Rt: w.rt, Loads: meanLoads}
+	inst := &e.instBuf
+	prior := core.GravityWS(e.ws, inst)
 	var x linalg.Vector
 	var n int
 	if e.cfg.Method == MethodBayesian {
-		x, n, err = core.BayesianFrom(inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
+		x, n, err = core.BayesianFromWS(e.ws, inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
 	} else {
-		x, n, err = core.EntropyFrom(inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
+		x, n, err = core.EntropyFromWS(e.ws, inst, prior, e.cfg.Reg, warmEst, e.cfg.ResolveMaxIter, e.cfg.ResolveTol)
 	}
 	if err != nil {
 		return nil, 0, false, err
@@ -785,12 +862,18 @@ func (e *Engine) Position() (version uint64, interval int, ok bool) {
 // WaitVersion(ctx, 0) waits for the first snapshot.
 func (e *Engine) WaitVersion(ctx context.Context, min uint64) (Snapshot, error) {
 	for {
-		e.mu.RLock()
-		snap, have, ch := e.snap, e.have, e.updateCh
-		e.mu.RUnlock()
-		if have && snap.Version >= min {
-			return snap.cloneForRead(), nil
+		e.mu.Lock()
+		if e.have && e.snap.Version >= min {
+			snap := e.snap.cloneForRead()
+			e.mu.Unlock()
+			return snap, nil
 		}
+		// Park: the next publication closes ch. The channel is a one-shot
+		// broadcast, so an abandoning waiter (ctx done) just leaves it for
+		// installLocked to close — no removal bookkeeping needed.
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		e.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return Snapshot{}, ctx.Err()

@@ -18,17 +18,38 @@ import (
 // race detector or corrupts a later reader's view (which the monotonic
 // version check would catch).
 func TestConcurrentReadersUnderRapidPublish(t *testing.T) {
-	sc, err := netsim.BuildEurope(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := New(sc.Rt, Config{
+	concurrentReaderStress(t, Config{
 		Window:          3,
 		ResolveEvery:    2,
 		DriftThreshold:  0.05,
 		ResolveMaxEvery: 8,
 		ResolveMaxIter:  300, // keep re-solves cheap; this test is about locking, not convergence
 	})
+}
+
+// TestConcurrentReadersFanoutPooledBuffers is the same stress against
+// the constant-fanout method with prune-as-you-go storage: the re-solve
+// path then exercises both warm-start slots (takeWarm/setWarm hand the
+// previous estimate AND the fanout iterate across solves), the pooled
+// engine workspaces, and collector.Take's ownership transfer — so any
+// published vector that aliases a recycled buffer is scribbled on by the
+// readers and trips the race detector.
+func TestConcurrentReadersFanoutPooledBuffers(t *testing.T) {
+	concurrentReaderStress(t, Config{
+		Window:         3,
+		Method:         MethodFanout,
+		ResolveEvery:   2,
+		ResolveMaxIter: 300,
+		PruneConsumed:  true,
+	})
+}
+
+func concurrentReaderStress(t *testing.T, cfg Config) {
+	sc, err := netsim.BuildEurope(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc.Rt, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
