@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke timeline-smoke loadtest check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke timeline-smoke cluster-smoke loadtest check
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,13 @@ smoke:
 # snapshot on the restored topology (CI's timeline-smoke job).
 timeline-smoke:
 	bash scripts/timeline_smoke.sh
+
+# Cluster smoke: boot a 3-node cluster plus a coordinator, read every
+# tenant through the coordinator, kill the node owning the scripted
+# timeline after its topology swap, and gate on the warm standby
+# takeover via checkpoint handoff (CI's cluster-smoke job).
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Serving load test: drive a 2-tenant tmserve fleet with cmd/tmload's
 # poll + SSE client mix for ~10s, gating on zero errors and the p99

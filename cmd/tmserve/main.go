@@ -13,6 +13,17 @@
 // (internal/fleet). Single-tenant mode is just a one-tenant fleet, so
 // the two modes behave identically where they overlap.
 //
+// In cluster mode a fleet is sharded across processes: every process
+// reads the same cluster config (-cluster cluster.json) and runs either
+// as a member node (-node <name>) hosting the tenants the config
+// assigns to it, syncing standby checkpoints and answering adoption
+// requests, or as the coordinator (-coordinator) — the fleet-wide
+// front door that aggregates /v1/tenants across nodes, proxies (or 307
+// redirects, routing "redirect") tenant reads to the owning node, and
+// promotes standbys via checkpoint handoff when an owner fails health
+// probes (internal/cluster; see docs/API.md and README "Running a
+// cluster").
+//
 // After every consumed polling interval an engine refreshes its
 // incremental gravity estimate; every -resolve-every intervals it
 // schedules a full re-solve (-method entropy|bayes|vardi|fanout),
@@ -61,6 +72,8 @@
 //	tmserve -checkpoint tm.ckpt -drift-threshold 0.1 -resolve-max-every 12
 //	tmserve -timeline examples/timelines/failure_reroute.json -pace 50ms
 //	tmserve -fleet fleet.json -checkpoint-dir ckpt -parallel 8
+//	tmserve -cluster cluster.json -node n1 -checkpoint-dir ckpt-n1
+//	tmserve -cluster cluster.json -coordinator -addr :7080
 package main
 
 import (
@@ -76,6 +89,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/collector"
 	"repro/internal/fleet"
 	"repro/internal/netsim"
@@ -106,6 +120,10 @@ type config struct {
 	checkpointDir string
 	parallel      int
 	maxWaiters    int
+
+	clusterPath string
+	nodeName    string
+	coordinator bool
 
 	pace    time.Duration // replay
 	pollers int           // live
@@ -139,6 +157,9 @@ func main() {
 	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "window drift (relative L1 between consecutive window means) that triggers an immediate re-solve; 0 = fixed cadence; requires -resolve-every > 0")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file: restore engine state on boot, persist it on every publication and at shutdown")
 	flag.StringVar(&cfg.fleetPath, "fleet", "", "fleet config JSON declaring many tenants (multi-tenant mode; replay sources only)")
+	flag.StringVar(&cfg.clusterPath, "cluster", "", "cluster config JSON sharding a fleet across processes; combine with exactly one of -node or -coordinator")
+	flag.StringVar(&cfg.nodeName, "node", "", "run as the named cluster member: host the tenants -cluster assigns to it (requires -checkpoint-dir)")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as the cluster's front door: aggregate /v1/tenants, route tenant reads to owning nodes, fail over via checkpoint handoff")
 	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "per-tenant checkpoint directory: each tenant restores from and persists to <dir>/<name>.ckpt")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "shared re-solve worker pool size across all tenants; 0 = GOMAXPROCS")
 	flag.IntVar(&cfg.maxWaiters, "max-waiters", 0, "per-tenant cap on concurrent long-poll waiters + SSE subscribers, 429 beyond it; 0 = 65536 (tenant specs can override per tenant)")
@@ -178,16 +199,42 @@ func (cfg config) validate() error {
 	if cfg.resolveMaxEvery > cfg.resolveEvery && cfg.driftThreshold == 0 {
 		return fmt.Errorf("-resolve-max-every %d backs the cadence off only on a drift signal: set -drift-threshold > 0", cfg.resolveMaxEvery)
 	}
-	if cfg.fleetPath != "" {
+	if (cfg.nodeName != "" || cfg.coordinator) && cfg.clusterPath == "" {
+		return fmt.Errorf("-node and -coordinator pick a role within a cluster; both require -cluster <config>")
+	}
+	if cfg.clusterPath != "" {
+		switch {
+		case cfg.fleetPath != "":
+			return fmt.Errorf("-cluster and -fleet are mutually exclusive: a cluster config already declares the tenants")
+		case cfg.nodeName != "" && cfg.coordinator:
+			return fmt.Errorf("-node and -coordinator are mutually exclusive: a process is one or the other")
+		case cfg.nodeName == "" && !cfg.coordinator:
+			return fmt.Errorf("-cluster needs a role: -node <name> to host tenants or -coordinator to front the cluster")
+		case cfg.checkpoint != "":
+			return fmt.Errorf("-checkpoint is single-tenant only; cluster nodes use -checkpoint-dir")
+		}
+		if cfg.coordinator && cfg.checkpointDir != "" {
+			return fmt.Errorf("-checkpoint-dir is for nodes hosting engines; the coordinator holds no tenant state")
+		}
+		if cfg.nodeName != "" && cfg.checkpointDir == "" {
+			return fmt.Errorf("-node requires -checkpoint-dir: checkpoint handoff and standby sync persist there")
+		}
+	}
+	if cfg.fleetPath != "" || cfg.clusterPath != "" {
+		multi := "-fleet"
+		if cfg.clusterPath != "" {
+			multi = "-cluster"
+		}
 		if cfg.mode == "live" {
-			return fmt.Errorf("-fleet tenants are deterministic replays; -mode live is single-tenant only")
+			return fmt.Errorf("%s tenants are deterministic replays; -mode live is single-tenant only", multi)
 		}
 		if cfg.checkpoint != "" {
-			return fmt.Errorf("-checkpoint is single-tenant only; with -fleet use -checkpoint-dir")
+			return fmt.Errorf("-checkpoint is single-tenant only; with %s use -checkpoint-dir", multi)
 		}
 		// Every other single-tenant flag is superseded by the tenant
-		// specs: passing one alongside -fleet would be silently ignored,
-		// which is exactly the class of mistake validate exists to catch.
+		// specs: passing one alongside -fleet/-cluster would be silently
+		// ignored, which is exactly the class of mistake validate exists
+		// to catch.
 		for _, name := range []string{
 			"region", "scenario", "timeline", "seed", "mode", "cycles", "window",
 			"min-coverage", "resolve-every", "resolve-max-every",
@@ -195,7 +242,7 @@ func (cfg config) validate() error {
 			"pollers", "drop", "speed",
 		} {
 			if cfg.set[name] {
-				return fmt.Errorf("-%s is single-tenant only and ignored with -fleet; set it per tenant in the fleet config", name)
+				return fmt.Errorf("-%s is single-tenant only and ignored with %s; set it per tenant in the %s config", name, multi, multi[1:])
 			}
 		}
 	}
@@ -264,6 +311,16 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
+	if cfg.clusterPath != "" {
+		cc, err := cluster.Load(cfg.clusterPath)
+		if err != nil {
+			return err
+		}
+		if cfg.coordinator {
+			return runCoordinator(ctx, cc, cfg, out)
+		}
+		return runClusterNode(ctx, cc, cfg, out)
+	}
 	f := fleet.New(runner.NewPool(cfg.parallel), fleet.Options{
 		CheckpointDir: cfg.checkpointDir,
 		Logf: func(format string, args ...any) {
@@ -301,7 +358,80 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		return err
 	}
 
-	return serveFleet(ctx, f, cfg, out)
+	return serveFleet(ctx, f, cfg, nil, out)
+}
+
+// runClusterNode boots one cluster member: a fleet holding only the
+// tenants the shared config assigns to this node (possibly none — a
+// pure standby), wrapped in the cluster runtime that syncs standby
+// checkpoints and answers the coordinator's adoption requests.
+func runClusterNode(ctx context.Context, cc cluster.Config, cfg config, out io.Writer) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(out, "tmserve: "+format+"\n", args...)
+	}
+	f := fleet.New(runner.NewPool(cfg.parallel), fleet.Options{
+		CheckpointDir: cfg.checkpointDir,
+		AllowEmpty:    true, // standby nodes start with zero tenants
+		Logf:          logf,
+	})
+	for _, spec := range cc.OwnedBy(cfg.nodeName) {
+		if _, err := f.Add(spec); err != nil {
+			return err
+		}
+	}
+	node, err := cluster.NewNode(cc, cfg.nodeName, f, cfg.checkpointDir, nil, logf)
+	if err != nil {
+		return err
+	}
+	if _, err := f.RestoreAll(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "tmserve: cluster node %s: hosting %d tenant(s), standby for %d\n",
+		cfg.nodeName, len(cc.OwnedBy(cfg.nodeName)), len(cc.StandbyOn(cfg.nodeName)))
+	return serveFleet(ctx, f, cfg, node, out)
+}
+
+// runCoordinator boots the cluster's front door: no engines, no
+// checkpoints — just the routing brain (health probes, failover,
+// migration) and the HTTP surface that fans /v1/tenants out across
+// members and forwards tenant reads to their owners.
+func runCoordinator(ctx context.Context, cc cluster.Config, cfg config, out io.Writer) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	co := cluster.NewCoordinator(cc, nil, func(format string, args ...any) {
+		fmt.Fprintf(out, "tmserve: "+format+"\n", args...)
+	})
+	style := "proxying"
+	if cc.Redirect() {
+		style = "redirecting"
+	}
+	fmt.Fprintf(out, "tmserve: coordinator on %s: %d node(s), %d tenant(s), %s tenant reads\n",
+		ln.Addr(), len(cc.Nodes), len(cc.Tenants), style)
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go co.Run(runCtx)
+	srv := &http.Server{Handler: serve.NewCoordinator(co, nil).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case err := <-serveErr:
+		runErr = err
+	}
+	cancel()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	return runErr
 }
 
 // addClassicTenant feeds the single tenant exactly as the pre-fleet
@@ -347,8 +477,10 @@ func addClassicTenant(f *fleet.Fleet, cfg config, spec fleet.TenantSpec) error {
 }
 
 // serveFleet binds the HTTP server over a fully declared (and possibly
-// restored) fleet and blocks until ctx is done.
-func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, out io.Writer) error {
+// restored) fleet and blocks until ctx is done. node is non-nil only in
+// cluster mode: it runs the standby sync loops and unlocks the
+// cluster-only endpoints (checkpoint export, adoption).
+func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, node *cluster.Node, out io.Writer) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -368,9 +500,18 @@ func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, out io.Writer) 
 	defer cancel()
 	fleetDone := make(chan error, 1)
 	go func() { fleetDone <- f.Run(runCtx) }()
+	// The typed-nil guard matters: assigning a nil *cluster.Node into
+	// the interface directly would make Options.Node non-nil and turn
+	// every single-process daemon into a phantom cluster member.
+	var admin serve.NodeAdmin
+	if node != nil {
+		admin = node
+		go node.Run(runCtx)
+	}
 	srv := &http.Server{Handler: serve.New(runCtx, f, serve.Options{
-		Single:     cfg.fleetPath == "",
+		Single:     cfg.fleetPath == "" && cfg.clusterPath == "",
 		MaxWaiters: cfg.maxWaiters,
+		Node:       admin,
 	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

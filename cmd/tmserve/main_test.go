@@ -469,6 +469,56 @@ func TestFlagValidation(t *testing.T) {
 				set: map[string]bool{"method": true}},
 			want: []string{"-method", "fleet config"},
 		},
+		{
+			what: "node role without a cluster config",
+			cfg:  config{nodeName: "n1", resolveEvery: 3},
+			want: []string{"-cluster"},
+		},
+		{
+			what: "coordinator role without a cluster config",
+			cfg:  config{coordinator: true, resolveEvery: 3},
+			want: []string{"-cluster"},
+		},
+		{
+			what: "cluster without a role",
+			cfg:  config{clusterPath: "cluster.json", resolveEvery: 3},
+			want: []string{"-node", "-coordinator"},
+		},
+		{
+			what: "node and coordinator together",
+			cfg: config{clusterPath: "cluster.json", nodeName: "n1",
+				coordinator: true, checkpointDir: "ckpt", resolveEvery: 3},
+			want: []string{"-node", "-coordinator", "mutually exclusive"},
+		},
+		{
+			what: "cluster and fleet together",
+			cfg: config{clusterPath: "cluster.json", fleetPath: "fleet.json",
+				coordinator: true, resolveEvery: 3},
+			want: []string{"-cluster", "-fleet", "mutually exclusive"},
+		},
+		{
+			what: "cluster node without a checkpoint dir",
+			cfg:  config{clusterPath: "cluster.json", nodeName: "n1", resolveEvery: 3},
+			want: []string{"-checkpoint-dir", "handoff"},
+		},
+		{
+			what: "coordinator with a checkpoint dir",
+			cfg: config{clusterPath: "cluster.json", coordinator: true,
+				checkpointDir: "ckpt", resolveEvery: 3},
+			want: []string{"-checkpoint-dir"},
+		},
+		{
+			what: "cluster node with single-tenant checkpoint",
+			cfg: config{clusterPath: "cluster.json", nodeName: "n1",
+				checkpointDir: "ckpt", checkpoint: "tm.ckpt", resolveEvery: 3},
+			want: []string{"-checkpoint", "-checkpoint-dir"},
+		},
+		{
+			what: "explicitly set single-tenant flag with -cluster",
+			cfg: config{clusterPath: "cluster.json", coordinator: true, method: "vardi",
+				resolveEvery: 3, set: map[string]bool{"method": true}},
+			want: []string{"-method", "cluster config"},
+		},
 	}
 	for _, tc := range cases {
 		err := run(ctx, tc.cfg, io.Discard)

@@ -136,9 +136,18 @@ func TestAPIDocDrift(t *testing.T) {
 			t.Errorf("docs/API.md does not document route %s", cell)
 		}
 	}
+	// Coordinator mode has its own route table (serve.CoordinatorRoutes,
+	// the mux source for -coordinator processes); its rows must be
+	// documented under the same cell convention.
+	for _, rt := range serve.CoordinatorRoutes() {
+		cell := "`" + rt.Method + " " + rt.Pattern + "`"
+		if !strings.Contains(string(doc), cell) {
+			t.Errorf("docs/API.md does not document coordinator route %s", cell)
+		}
+	}
 	// The negotiation vocabulary must stay documented too: these are the
 	// strings clients hardcode.
-	for _, token := range []string{serve.DeltaMediaType, "If-None-Match", "min_version", "Retry-After", "X-Snapshot-Version", "X-Delta-From"} {
+	for _, token := range []string{serve.DeltaMediaType, "If-None-Match", "min_version", "Retry-After", "X-Snapshot-Version", "X-Delta-From", "X-Tenant-Node"} {
 		if !strings.Contains(string(doc), token) {
 			t.Errorf("docs/API.md does not mention %q", token)
 		}

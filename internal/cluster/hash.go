@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vpoints is how many virtual points each node contributes to the
+// ring. 64 keeps the assignment spread within a few percent of even
+// for small clusters while the ring stays tiny enough to rebuild per
+// lookup (placement is resolved a handful of times at boot and on
+// promotion, never per request).
+const vpoints = 64
+
+// ringLookup assigns a key to one of the nodes by consistent hashing:
+// each node is hashed onto the ring at vpoints positions and the key
+// goes to the first node clockwise from its own hash. Adding or
+// removing one node moves only the keys that hashed to its arcs —
+// which is why unpinned tenants mostly stay put when the cluster
+// grows. Deterministic and order-independent: every process computes
+// the same owner from the same node set.
+func ringLookup(nodes []string, key string) string {
+	switch len(nodes) {
+	case 0:
+		return ""
+	case 1:
+		return nodes[0]
+	}
+	type point struct {
+		hash uint64
+		node string
+	}
+	ring := make([]point, 0, len(nodes)*vpoints)
+	for _, n := range nodes {
+		for i := 0; i < vpoints; i++ {
+			ring = append(ring, point{hash: fnvHash(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].node < ring[j].node // stable under hash collisions
+	})
+	h := fnvHash(key)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	if i == len(ring) {
+		i = 0 // wrap: the key hashed past the last point
+	}
+	return ring[i].node
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

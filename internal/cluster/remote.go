@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/stream"
+)
+
+// Remote is a tenant lifecycle handle over HTTP: the same fleet.Handle
+// surface a local *fleet.Tenant has, backed by the owning node's v1
+// API. This is the other half of the lifecycle refactor — code that
+// syncs, ships or serves a tenant's state holds a Handle and never
+// learns which side of the process boundary the engine runs on. The
+// run half of the lifecycle stays with the owning node; Remote only
+// observes (Status, Latest, Metrics) and moves state (Checkpoint out
+// of the owner, Restore as an adopt on the target).
+type Remote struct {
+	name   string
+	spec   fleet.TenantSpec
+	addr   string // owning node's host:port
+	client *http.Client
+}
+
+// Compile-time proof the remote handle is interchangeable with a
+// locally-owned tenant.
+var _ fleet.Handle = (*Remote)(nil)
+
+// NewRemote builds a handle for a tenant owned by the node at addr.
+// client may be nil for http.DefaultClient.
+func NewRemote(spec fleet.TenantSpec, addr string, client *http.Client) *Remote {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{name: spec.Name, spec: spec, addr: addr, client: client}
+}
+
+// Name returns the tenant's name.
+func (r *Remote) Name() string { return r.name }
+
+// Spec returns the spec the tenant was declared with in the cluster
+// config.
+func (r *Remote) Spec() fleet.TenantSpec { return r.spec }
+
+func (r *Remote) url(path string) string { return "http://" + r.addr + path }
+
+// getJSON is one bounded GET decoded into out; non-200 answers return
+// the status code as the error.
+func (r *Remote) getJSON(ctx context.Context, path string, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Status reports the tenant's status as its owner sees it; an
+// unreachable owner reports StateUnreachable rather than an error, so
+// a fleet listing degrades instead of failing.
+func (r *Remote) Status() fleet.Status {
+	var listing struct {
+		Tenants []fleet.Status `json:"tenants"`
+	}
+	if err := r.getJSON(context.Background(), "/v1/tenants", &listing); err == nil {
+		for _, st := range listing.Tenants {
+			if st.Name == r.name {
+				return st
+			}
+		}
+	}
+	return fleet.Status{
+		Name: r.name, Source: r.spec.Source, State: fleet.StateUnreachable,
+	}
+}
+
+// Latest fetches the owner's current snapshot; (zero, false) when the
+// owner has none yet or cannot be reached.
+func (r *Remote) Latest() (stream.Snapshot, bool) {
+	var snap stream.Snapshot
+	if err := r.getJSON(context.Background(), "/v1/t/"+r.name+"/snapshot", &snap); err != nil {
+		return stream.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// WaitVersion long-polls the owner until a snapshot with Version >= min
+// exists or ctx is done. The owner bounds each poll (504 on expiry) and
+// sheds load (429), so the wait loops with a short backoff on those.
+func (r *Remote) WaitVersion(ctx context.Context, min uint64) (stream.Snapshot, error) {
+	path := fmt.Sprintf("/v1/t/%s/snapshot?min_version=%d", r.name, min)
+	for {
+		var snap stream.Snapshot
+		err := r.getJSON(ctx, path, &snap)
+		if err == nil {
+			return snap, nil
+		}
+		if ctx.Err() != nil {
+			return stream.Snapshot{}, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return stream.Snapshot{}, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// Metrics fetches the owner's estimation-error history; nil when
+// unreachable.
+func (r *Remote) Metrics() []stream.MetricPoint {
+	var resp struct {
+		Points []stream.MetricPoint `json:"points"`
+	}
+	if err := r.getJSON(context.Background(), "/v1/t/"+r.name+"/metrics", &resp); err != nil {
+		return nil
+	}
+	return resp.Points
+}
+
+// Position reports the owner's latest snapshot position via its status
+// row.
+func (r *Remote) Position() (uint64, int, bool) {
+	st := r.Status()
+	return st.Version, st.Interval, st.HaveSnapshot
+}
+
+// Checkpoint pulls the owner's handoff document — what a standby syncs
+// and a migration ships.
+func (r *Remote) Checkpoint() (stream.Checkpoint, error) {
+	var cp stream.Checkpoint
+	if err := r.getJSON(context.Background(), "/v1/t/"+r.name+"/checkpoint", &cp); err != nil {
+		return stream.Checkpoint{}, fmt.Errorf("cluster: pull checkpoint for %s from %s: %w", r.name, r.addr, err)
+	}
+	return cp, nil
+}
+
+// Restore ships a checkpoint to the node behind this handle as an
+// adoption: the node starts hosting the tenant from the checkpoint's
+// state. A 409 (already hosting) maps to fleet.ErrAlreadyHosted so a
+// promotion retry reads as success to errors.Is.
+func (r *Remote) Restore(cp stream.Checkpoint) error {
+	body, err := json.Marshal(map[string]any{"tenant": r.name, "checkpoint": cp})
+	if err != nil {
+		return err
+	}
+	return postAdopt(context.Background(), r.client, r.addr, bytes.NewReader(body))
+}
+
+// postAdopt POSTs an adopt body to a node, mapping the v1 error
+// envelope back onto the lifecycle sentinels.
+func postAdopt(ctx context.Context, client *http.Client, addr string, body io.Reader) error {
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/cluster/adopt", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("cluster: adopt on %s: %w", addr, fleet.ErrAlreadyHosted)
+	case http.StatusNotFound:
+		return fmt.Errorf("cluster: adopt on %s: %w", addr, fleet.ErrUnknownTenant)
+	}
+	var e struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error.Message != "" {
+		msg = e.Error.Message
+	}
+	return errors.New("cluster: adopt on " + addr + ": " + msg)
+}

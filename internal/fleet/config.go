@@ -99,26 +99,38 @@ func ParseConfig(data []byte) (Config, error) {
 	if len(cfg.Tenants) == 0 {
 		return Config{}, fmt.Errorf("fleet: config declares no tenants")
 	}
-	seen := make(map[string]bool, len(cfg.Tenants))
-	for i, t := range cfg.Tenants {
+	if err := ValidateTenants(cfg.Tenants); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ValidateTenants checks a tenant list the way ParseConfig does: names
+// well-formed and unique, paces parse, ranges sane. The cluster config
+// (internal/cluster) embeds the same tenant list and validates it with
+// this, so the two config formats can never diverge on what a legal
+// tenant is.
+func ValidateTenants(tenants []TenantSpec) error {
+	seen := make(map[string]bool, len(tenants))
+	for i, t := range tenants {
 		if !nameRe.MatchString(t.Name) {
-			return Config{}, fmt.Errorf("fleet: tenant %d name %q is not a [A-Za-z0-9._-]+ identifier", i, t.Name)
+			return fmt.Errorf("fleet: tenant %d name %q is not a [A-Za-z0-9._-]+ identifier", i, t.Name)
 		}
 		if seen[t.Name] {
-			return Config{}, fmt.Errorf("fleet: duplicate tenant name %q", t.Name)
+			return fmt.Errorf("fleet: duplicate tenant name %q", t.Name)
 		}
 		seen[t.Name] = true
 		if _, err := t.pace(); err != nil {
-			return Config{}, fmt.Errorf("fleet: tenant %q: %w", t.Name, err)
+			return fmt.Errorf("fleet: tenant %q: %w", t.Name, err)
 		}
 		if t.Cycles < -1 {
-			return Config{}, fmt.Errorf("fleet: tenant %q: cycles %d out of range (>= -1)", t.Name, t.Cycles)
+			return fmt.Errorf("fleet: tenant %q: cycles %d out of range (>= -1)", t.Name, t.Cycles)
 		}
 		if t.MaxWaiters < 0 {
-			return Config{}, fmt.Errorf("fleet: tenant %q: max_waiters %d is negative", t.Name, t.MaxWaiters)
+			return fmt.Errorf("fleet: tenant %q: max_waiters %d is negative", t.Name, t.MaxWaiters)
 		}
 	}
-	return cfg, nil
+	return nil
 }
 
 // LoadConfig reads and validates a fleet config file.

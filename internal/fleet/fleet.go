@@ -205,6 +205,11 @@ type Options struct {
 	// Logf receives per-tenant lifecycle messages (restore, collection
 	// finished, checkpoint trouble). Nil discards them.
 	Logf func(format string, args ...any)
+	// AllowEmpty lets Run start with zero tenants. A cluster standby
+	// node boots empty and receives its tenants later through Adopt;
+	// everything else keeps the "no tenants is a misconfiguration"
+	// error.
+	AllowEmpty bool
 }
 
 // Fleet hosts many tenants over one shared re-solve pool. Create with
@@ -227,6 +232,19 @@ type Fleet struct {
 	rr       int             // round-robin claim cursor
 
 	kick chan struct{} // coalesced "work parked" wake-ups
+
+	// Run-lifetime state, guarded by runMu so Adopt can join tenants to
+	// a fleet that is already running: runCtx is non-nil exactly while
+	// Run's goroutines may still be started (cleared before the final
+	// wg.Wait, so a late Adopt can never race the WaitGroup), and
+	// ntotal/nfailed keep the all-failed accounting live as adopted
+	// tenants arrive.
+	runMu     sync.Mutex
+	runCtx    context.Context
+	wg        sync.WaitGroup
+	ntotal    int
+	nfailed   int
+	allFailed chan struct{}
 }
 
 // New creates an empty fleet multiplexing re-solves onto pool.
@@ -251,8 +269,14 @@ func (f *Fleet) Pool() *runner.Pool { return f.pool }
 // loaded), the engine created in dispatch mode, and a deterministic
 // replay feed attached. Must be called before Run.
 func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
+	return f.addSpec(spec, false)
+}
+
+// addSpec materializes a tenant from its spec; adopt relaxes the
+// "before Run" restriction for Adopt's running-fleet path.
+func (f *Fleet) addSpec(spec TenantSpec, adopt bool) (*Tenant, error) {
 	if strings.HasPrefix(spec.Source, "scenario:script:") {
-		return f.addScript(spec)
+		return f.addScript(spec, adopt)
 	}
 	sc, series, err := buildSource(spec)
 	if err != nil {
@@ -273,7 +297,7 @@ func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
 			return collector.Replay(ctx, store, series, cycles, pace)
 		},
 	}
-	return f.add(spec, sc, feed)
+	return f.add(spec, sc, feed, adopt)
 }
 
 // addScript materializes a scenario:script:<path> tenant: the timeline
@@ -281,7 +305,7 @@ func (f *Fleet) Add(spec TenantSpec) (*Tenant, error) {
 // replays the compiled steps (outage holes and all), and the scripted
 // routing hot-swaps are armed on the engine when the fleet starts — or
 // replayed up to the checkpointed topology epoch by RestoreAll first.
-func (f *Fleet) addScript(spec TenantSpec) (*Tenant, error) {
+func (f *Fleet) addScript(spec TenantSpec, adopt bool) (*Tenant, error) {
 	fail := func(err error) (*Tenant, error) {
 		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
 	}
@@ -318,7 +342,7 @@ func (f *Fleet) addScript(spec TenantSpec) (*Tenant, error) {
 			return tl.Replay(ctx, store, cycles, pace)
 		},
 	}
-	t, err := f.add(spec, tl.Base, feed)
+	t, err := f.add(spec, tl.Base, feed, adopt)
 	if err != nil {
 		return nil, err
 	}
@@ -333,12 +357,12 @@ func (f *Fleet) AddFeed(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenan
 	if feed.Store == nil || feed.Collect == nil {
 		return nil, fmt.Errorf("fleet: tenant %q: feed needs both a store and a collect function", spec.Name)
 	}
-	return f.add(spec, sc, feed)
+	return f.add(spec, sc, feed, false)
 }
 
-func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed) (*Tenant, error) {
-	if f.started.Load() {
-		return nil, fmt.Errorf("fleet: Add after Run")
+func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed, adopt bool) (*Tenant, error) {
+	if f.started.Load() && !adopt {
+		return nil, fmt.Errorf("fleet: Add after Run (Adopt joins tenants to a running fleet)")
 	}
 	if !nameRe.MatchString(spec.Name) {
 		return nil, fmt.Errorf("fleet: tenant name %q is not a [A-Za-z0-9._-]+ identifier", spec.Name)
@@ -499,29 +523,11 @@ func (f *Fleet) RestoreAll() (int, error) {
 		if err != nil {
 			return restored, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err)
 		}
-		if t.tl != nil {
-			// Restore demands the engine already be on the checkpoint's
-			// topology epoch: replay the script's swaps up to it (each
-			// applies immediately at interval 0), then arm the rest below.
-			for ep := t.eng.TopologyEpoch() + 1; ep <= cp.TopologyEpoch; ep++ {
-				rt, ok := t.tl.EpochRouting(ep)
-				if !ok {
-					return restored, fmt.Errorf("fleet: tenant %q: checkpoint %s is at topology epoch %d, the script only has %d",
-						t.spec.Name, path, cp.TopologyEpoch, len(t.tl.Epochs))
-				}
-				if err := t.eng.SwapRouting(rt, ep, 0); err != nil {
-					return restored, fmt.Errorf("fleet: tenant %q: moving onto checkpointed epoch %d: %w", t.spec.Name, ep, err)
-				}
-			}
-		}
-		if err := t.eng.Restore(cp); err != nil {
+		// Tenant.Restore replays a script tenant's swaps up to the
+		// checkpoint's topology epoch, installs the checkpoint and arms
+		// the remaining scripted swaps.
+		if err := t.Restore(cp); err != nil {
 			return restored, fmt.Errorf("fleet: tenant %q: restore %s: %w", t.spec.Name, path, err)
-		}
-		t.mu.Lock()
-		t.restored = true
-		t.mu.Unlock()
-		if err := t.armSwaps(); err != nil {
-			return restored, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err)
 		}
 		if snap, ok := t.eng.Latest(); ok {
 			f.opts.Logf("tenant %s: restored checkpoint %s (version %d, interval %d) — serving it now",
@@ -562,7 +568,7 @@ func (f *Fleet) Run(ctx context.Context) error {
 		return fmt.Errorf("fleet: Run called more than once")
 	}
 	tenants := f.Tenants()
-	if len(tenants) == 0 {
+	if len(tenants) == 0 && !f.opts.AllowEmpty {
 		return fmt.Errorf("fleet: Run with no tenants")
 	}
 	if f.opts.CheckpointDir != "" {
@@ -572,62 +578,28 @@ func (f *Fleet) Run(ctx context.Context) error {
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var wg sync.WaitGroup
 
 	// allFailed closes when the last healthy tenant fails — the one
 	// tenant-level error that must surface to the host, because a fleet
 	// with nothing left to estimate would otherwise serve stale
-	// snapshots forever while looking alive.
+	// snapshots forever while looking alive. The count is kept under
+	// runMu, not a snapshot of len(tenants), so tenants adopted
+	// mid-flight extend the ledger instead of corrupting it.
 	allFailed := make(chan struct{})
-	var failed atomic.Int32
-	noteFail := func(t *Tenant, err error, what string) {
-		if !t.fail(fmt.Errorf("%s: %w", what, err)) {
-			return
-		}
-		f.opts.Logf("tenant %s: %s failed: %v", t.spec.Name, what, err)
-		if failed.Add(1) == int32(len(tenants)) {
-			close(allFailed)
-		}
-	}
-
-	wg.Add(1)
+	f.runMu.Lock()
+	f.runCtx = runCtx
+	f.allFailed = allFailed
+	f.ntotal = len(tenants)
+	f.wg.Add(1)
+	f.runMu.Unlock()
 	go func() {
-		defer wg.Done()
+		defer f.wg.Done()
 		f.schedule(runCtx)
 	}()
 
 	for _, t := range tenants {
-		t := t
-		if err := t.armSwaps(); err != nil {
-			noteFail(t, err, "timeline")
-			continue
-		}
-		t.setState(StateRunning)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := t.eng.Run(runCtx, t.feed.Store); err != nil && !errors.Is(err, context.Canceled) {
-				noteFail(t, err, "engine")
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := t.feed.Collect(runCtx); err != nil {
-				if !errors.Is(err, context.Canceled) {
-					noteFail(t, err, "collect")
-				}
-				return
-			}
-			t.setState(StateServing)
-			f.opts.Logf("tenant %s: collection finished; serving last snapshot", t.spec.Name)
-		}()
-		if path := f.checkpointPath(t); path != "" {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				f.persistLoop(runCtx, t, path)
-			}()
+		if err := f.startTenant(runCtx, t); err != nil {
+			f.noteFail(t, err, "timeline")
 		}
 	}
 
@@ -636,14 +608,19 @@ func (f *Fleet) Run(ctx context.Context) error {
 	case <-ctx.Done():
 		runErr = ctx.Err()
 	case <-allFailed:
-		parts := make([]string, len(tenants))
-		for i, t := range tenants {
-			parts[i] = t.spec.Name + ": " + t.Status().Error
+		var parts []string
+		for _, t := range f.Tenants() {
+			parts = append(parts, t.spec.Name+": "+t.Status().Error)
 		}
 		runErr = fmt.Errorf("fleet: every tenant has failed (%s)", strings.Join(parts, "; "))
 	}
 	cancel()
-	wg.Wait()
+	// Close the adoption window before waiting: once runCtx is cleared
+	// no new goroutine joins the WaitGroup, so Wait cannot race an Add.
+	f.runMu.Lock()
+	f.runCtx = nil
+	f.runMu.Unlock()
+	f.wg.Wait()
 	f.quiesce()
 	// Final persistence after every engine and solve has stopped, so the
 	// files hold the very last published state.
@@ -651,6 +628,115 @@ func (f *Fleet) Run(ctx context.Context) error {
 		f.opts.Logf("final checkpoint save: %v", err)
 	}
 	return runErr
+}
+
+// noteFail records a tenant failure exactly once and closes allFailed
+// when no healthy tenant is left.
+func (f *Fleet) noteFail(t *Tenant, err error, what string) {
+	if !t.fail(fmt.Errorf("%s: %w", what, err)) {
+		return
+	}
+	f.opts.Logf("tenant %s: %s failed: %v", t.spec.Name, what, err)
+	f.runMu.Lock()
+	f.nfailed++
+	if f.nfailed == f.ntotal && f.allFailed != nil {
+		close(f.allFailed)
+	}
+	f.runMu.Unlock()
+}
+
+// startTenant launches one tenant's goroutines — ingestion engine,
+// collection feed and (when checkpointed) the persist loop — after
+// arming a script tenant's scripted swaps. An arming error is returned
+// (not noted), so Run can count it against the all-failed ledger while
+// Adopt refuses the tenant outright.
+func (f *Fleet) startTenant(ctx context.Context, t *Tenant) error {
+	if err := t.armSwaps(); err != nil {
+		return err
+	}
+	t.setState(StateRunning)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if err := t.eng.Run(ctx, t.feed.Store); err != nil && !errors.Is(err, context.Canceled) {
+			f.noteFail(t, err, "engine")
+		}
+	}()
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		if err := t.feed.Collect(ctx); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				f.noteFail(t, err, "collect")
+			}
+			return
+		}
+		t.setState(StateServing)
+		f.opts.Logf("tenant %s: collection finished; serving last snapshot", t.spec.Name)
+	}()
+	if path := f.checkpointPath(t); path != "" {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.persistLoop(ctx, t, path)
+		}()
+	}
+	return nil
+}
+
+// Adopt joins a tenant to the fleet after declaration time — the
+// cluster promotion path: a node materializes the tenant from its
+// spec, restores the shipped (or locally synced) checkpoint warm, and
+// starts serving it immediately when the fleet is already running. A
+// nil checkpoint adopts cold. Before Run, Adopt is Add + Restore and
+// Run starts the tenant with everything else; after shutdown it fails.
+func (f *Fleet) Adopt(spec TenantSpec, cp *stream.Checkpoint) (*Tenant, error) {
+	if _, hosted := f.Tenant(spec.Name); hosted {
+		return nil, fmt.Errorf("fleet: %w: %q", ErrAlreadyHosted, spec.Name)
+	}
+	t, err := f.addSpec(spec, true)
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		if err := t.Restore(*cp); err != nil {
+			f.remove(t)
+			return nil, fmt.Errorf("fleet: tenant %q: restore handoff checkpoint: %w", spec.Name, err)
+		}
+		if snap, ok := t.eng.Latest(); ok {
+			f.opts.Logf("tenant %s: adopted checkpoint (version %d, interval %d, topology epoch %d) — serving it now",
+				spec.Name, snap.Version, snap.Interval, cp.TopologyEpoch)
+		}
+	}
+	f.runMu.Lock()
+	defer f.runMu.Unlock()
+	if f.runCtx == nil {
+		if f.started.Load() {
+			f.remove(t)
+			return nil, fmt.Errorf("fleet: tenant %q: Adopt on a stopped fleet", spec.Name)
+		}
+		return t, nil // Run has not started yet; it will start the tenant
+	}
+	f.ntotal++
+	if err := f.startTenant(f.runCtx, t); err != nil {
+		f.ntotal--
+		f.remove(t)
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	return t, nil
+}
+
+// remove unregisters a tenant whose adoption failed before it started.
+func (f *Fleet) remove(t *Tenant) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.byName, t.spec.Name)
+	for i, o := range f.tenants {
+		if o == t {
+			f.tenants = append(f.tenants[:i], f.tenants[i+1:]...)
+			break
+		}
+	}
 }
 
 // persistLoop checkpoints one tenant after every publication (long-poll

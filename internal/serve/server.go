@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 // DeltaMediaType is the Accept value that negotiates delta responses on
@@ -21,12 +23,47 @@ const DeltaMediaType = "application/vnd.tmserve.delta+json"
 // stream cannot pin a waiter forever.
 const DefaultLongPollTimeout = 30 * time.Second
 
+// Backend is the tenant collection a Server reads through: the fleet
+// lifecycle handles plus the fleet-level health view. *fleet.Fleet is
+// the in-process implementation; the interface exists so a server can
+// front any set of lifecycle handles — which is what makes the serving
+// layer indifferent to where tenants actually run.
+type Backend interface {
+	// Handles returns every tenant's lifecycle handle in declaration
+	// order.
+	Handles() []fleet.Handle
+	// Handle looks a tenant's handle up by name.
+	Handle(name string) (fleet.Handle, bool)
+	// Statuses reports every tenant's status in declaration order.
+	Statuses() []fleet.Status
+	// Healthy reports whether no tenant has failed.
+	Healthy() bool
+}
+
+// NodeAdmin is the cluster-member hook a node-mode daemon plugs into
+// its server: it names the node (for the X-Tenant-Node header) and
+// adopts tenants on promotion — the receiving half of checkpoint
+// handoff. Nil disables the cluster admin routes.
+type NodeAdmin interface {
+	// NodeName returns this node's name in the cluster config.
+	NodeName() string
+	// Adopt makes the node host the named tenant, restoring the shipped
+	// checkpoint when non-nil (else the node's synced standby copy, else
+	// cold).
+	Adopt(ctx context.Context, tenant string, cp *stream.Checkpoint) error
+}
+
 // Options configures a Server. The zero value of every field selects
 // its default.
 type Options struct {
 	// Single enables the single-tenant alias routes (/snapshot,
 	// /metrics) over the fleet's first tenant.
 	Single bool
+	// Node, when non-nil, enables the cluster-member admin surface:
+	// GET /v1/t/{name}/checkpoint (the migration handoff document) and
+	// POST /v1/cluster/adopt, plus the X-Tenant-Node response header on
+	// tenant-scoped v1 routes.
+	Node NodeAdmin
 	// MaxWaiters is the per-tenant cap on concurrent long-poll waiters
 	// plus SSE subscribers; a tenant spec's max_waiters overrides it.
 	// <= 0 selects DefaultMaxWaiters.
@@ -46,16 +83,20 @@ type Options struct {
 // aliases. Construct with New, mount with Handler.
 type Server struct {
 	runCtx context.Context
-	f      *fleet.Fleet
+	f      Backend
 	opts   Options
-	hubs   map[string]*Hub
-	names  []string // tenant order, as the fleet lists them
+	single fleet.Handle // first tenant, backing the single-tenant aliases
+
+	hubMu sync.Mutex
+	hubs  map[string]*Hub
 }
 
-// New builds a server over a fleet and starts one hub observation loop
-// per tenant; the loops stop when runCtx is cancelled, which also
+// New builds a server over a backend and starts one hub observation
+// loop per tenant; the loops stop when runCtx is cancelled, which also
 // releases every pending long-poll (the daemon's graceful shutdown).
-func New(runCtx context.Context, f *fleet.Fleet, opts Options) *Server {
+// Tenants adopted after construction (cluster promotion) get their hub
+// lazily on first touch.
+func New(runCtx context.Context, f Backend, opts Options) *Server {
 	if opts.LongPollTimeout <= 0 {
 		opts.LongPollTimeout = DefaultLongPollTimeout
 	}
@@ -68,26 +109,42 @@ func New(runCtx context.Context, f *fleet.Fleet, opts Options) *Server {
 		opts:   opts,
 		hubs:   make(map[string]*Hub),
 	}
-	for _, t := range f.Tenants() {
-		max := opts.MaxWaiters
-		if mw := t.Spec().MaxWaiters; mw > 0 {
-			max = mw
+	for _, t := range f.Handles() {
+		if s.single == nil {
+			s.single = t
 		}
-		h := NewHub(t.Engine(), HubConfig{
-			MaxWaiters:       max,
-			CacheVersions:    opts.CacheVersions,
-			DeltaRatio:       opts.DeltaRatio,
-			SubscriberBuffer: opts.SubscriberBuffer,
-		})
-		s.hubs[t.Name()] = h
-		s.names = append(s.names, t.Name())
-		go h.Run(runCtx)
+		s.hubFor(t)
 	}
 	return s
 }
 
+// hubFor returns the tenant's hub, creating and starting it on first
+// touch — the path a tenant adopted onto a running node takes.
+func (s *Server) hubFor(t fleet.Handle) *Hub {
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	if h, ok := s.hubs[t.Name()]; ok {
+		return h
+	}
+	max := s.opts.MaxWaiters
+	if mw := t.Spec().MaxWaiters; mw > 0 {
+		max = mw
+	}
+	h := NewHub(t, HubConfig{
+		MaxWaiters:       max,
+		CacheVersions:    s.opts.CacheVersions,
+		DeltaRatio:       s.opts.DeltaRatio,
+		SubscriberBuffer: s.opts.SubscriberBuffer,
+	})
+	s.hubs[t.Name()] = h
+	go h.Run(s.runCtx)
+	return h
+}
+
 // Hub returns the named tenant's hub (tests and stats reach through it).
 func (s *Server) Hub(name string) (*Hub, bool) {
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
 	h, ok := s.hubs[name]
 	return h, ok
 }
@@ -102,14 +159,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/t/", s.handleLegacyTenant)
 	mux.HandleFunc("/v1/tenants", s.handleV1Tenants)
 	mux.HandleFunc("/v1/t/", s.handleV1Tenant)
-	if s.opts.Single && len(s.names) > 0 {
-		h := s.hubs[s.names[0]]
-		e := s.f.Tenants()[0].Engine()
+	if s.opts.Node != nil {
+		mux.HandleFunc("/v1/cluster/", s.handleV1Cluster)
+	}
+	if s.opts.Single && s.single != nil {
+		t := s.single
 		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-			s.serveSnapshot(w, r, h)
+			s.serveSnapshot(w, r, s.hubFor(t))
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, map[string]any{"points": e.Metrics()})
+			writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
 		})
 	}
 	return mux
@@ -119,8 +178,8 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"ok": s.f.Healthy(), "tenants": s.f.Statuses()}
-	if s.opts.Single {
-		version, _, ok := s.f.Tenants()[0].Engine().Position()
+	if s.opts.Single && s.single != nil {
+		version, _, ok := s.single.Position()
 		resp["have_snapshot"] = ok
 		resp["version"] = version
 	}
@@ -139,16 +198,16 @@ func (s *Server) handleLegacyTenant(w http.ResponseWriter, r *http.Request) {
 		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("missing endpoint: /t/%s/snapshot or /t/%s/metrics", name, name))
 		return
 	}
-	t, have := s.f.Tenant(name)
+	t, have := s.f.Handle(name)
 	if !have {
 		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q (see /tenants)", name))
 		return
 	}
 	switch endpoint {
 	case "snapshot":
-		s.serveSnapshot(w, r, s.hubs[name])
+		s.serveSnapshot(w, r, s.hubFor(t))
 	case "metrics":
-		writeJSON(w, http.StatusOK, map[string]any{"points": t.Engine().Metrics()})
+		writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
 	default:
 		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("unknown endpoint %q (snapshot or metrics)", endpoint))
 	}
@@ -249,7 +308,7 @@ func (s *Server) handleV1Tenants(w http.ResponseWriter, r *http.Request) {
 	out := make([]v1Tenant, 0, len(statuses))
 	for _, st := range statuses {
 		row := v1Tenant{Status: st}
-		if h, ok := s.hubs[st.Name]; ok {
+		if h, ok := s.Hub(st.Name); ok {
 			row.Serving = h.Stats()
 		}
 		out = append(out, row)
@@ -268,24 +327,91 @@ func (s *Server) handleV1Tenant(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("missing endpoint: /v1/t/%s/{snapshot|events|metrics}", name))
 		return
 	}
-	t, have := s.f.Tenant(name)
+	t, have := s.f.Handle(name)
 	if !have {
 		writeV1Error(w, http.StatusNotFound, "unknown_tenant",
 			fmt.Sprintf("unknown tenant %q (see /v1/tenants)", name))
 		return
 	}
-	h := s.hubs[name]
-	switch endpoint {
-	case "snapshot":
-		s.serveV1Snapshot(w, r, h)
-	case "events":
-		s.serveV1Events(w, r, h)
-	case "metrics":
-		writeJSON(w, http.StatusOK, map[string]any{"points": t.Engine().Metrics()})
-	default:
+	if s.opts.Node != nil {
+		// In cluster mode every tenant-scoped response names its serving
+		// node, whether reached directly or through the coordinator proxy.
+		w.Header().Set("X-Tenant-Node", s.opts.Node.NodeName())
+	}
+	unknown := func() {
 		writeV1Error(w, http.StatusNotFound, "unknown_endpoint",
 			fmt.Sprintf("unknown endpoint %q (snapshot, events or metrics)", endpoint))
 	}
+	switch endpoint {
+	case "snapshot":
+		s.serveV1Snapshot(w, r, s.hubFor(t))
+	case "events":
+		s.serveV1Events(w, r, s.hubFor(t))
+	case "metrics":
+		writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
+	case "checkpoint":
+		// The handoff document, served only by cluster members: a
+		// standby (or the coordinator, migrating) pulls it and restores
+		// it warm on the new owner.
+		if s.opts.Node == nil {
+			unknown()
+			return
+		}
+		cp, err := t.Checkpoint()
+		if err != nil {
+			writeV1Error(w, http.StatusBadGateway, "checkpoint_failed", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, cp)
+	default:
+		unknown()
+	}
+}
+
+// handleV1Cluster is the cluster-member admin surface (mounted only
+// with Options.Node): POST /v1/cluster/adopt receives a checkpoint
+// handoff — the coordinator (or an operator) tells this node to start
+// hosting a tenant, optionally shipping the previous owner's
+// checkpoint in the request body.
+func (s *Server) handleV1Cluster(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/v1/cluster/")
+	if op != "adopt" {
+		writeV1Error(w, http.StatusNotFound, "unknown_endpoint",
+			fmt.Sprintf("unknown cluster endpoint %q (adopt)", op))
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var req struct {
+		Tenant     string             `json:"tenant"`
+		Checkpoint *stream.Checkpoint `json:"checkpoint,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV1Error(w, http.StatusBadRequest, "bad_request", "bad adopt body: "+err.Error())
+		return
+	}
+	if req.Tenant == "" {
+		writeV1Error(w, http.StatusBadRequest, "bad_request", `adopt body needs {"tenant": "<name>"}`)
+		return
+	}
+	w.Header().Set("X-Tenant-Node", s.opts.Node.NodeName())
+	if err := s.opts.Node.Adopt(r.Context(), req.Tenant, req.Checkpoint); err != nil {
+		code, errCode := http.StatusInternalServerError, "adopt_failed"
+		switch {
+		case errors.Is(err, fleet.ErrUnknownTenant):
+			code, errCode = http.StatusNotFound, "unknown_tenant"
+		case errors.Is(err, fleet.ErrAlreadyHosted):
+			code, errCode = http.StatusConflict, "already_hosted"
+		}
+		writeV1Error(w, code, errCode, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"adopted": req.Tenant,
+		"node":    s.opts.Node.NodeName(),
+	})
 }
 
 // serveV1Snapshot is the negotiated read: conditional get via

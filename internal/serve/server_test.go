@@ -441,6 +441,9 @@ func TestRoutesAllServed(t *testing.T) {
 	src.Publish(serveSnap(1))
 	waitVersion(t, handler, 1)
 	for _, rt := range Routes() {
+		if rt.ClusterOnly {
+			continue // mounted only with Options.Node; TestServerClusterEndpoints covers them
+		}
 		path := strings.ReplaceAll(rt.Pattern, "{name}", "default")
 		reqCtx, reqCancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 		req := httptest.NewRequest(rt.Method, path, nil).WithContext(reqCtx)

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Cluster smoke test, as run by CI's cluster-smoke job (and `make
+# cluster-smoke`): build tmserve, boot three member nodes plus a
+# coordinator from one cluster config, read every tenant through the
+# coordinator (proxied, X-Tenant-Node naming the owner), then kill the
+# node owning the scripted-timeline tenant after its topology swap and
+# gate on the standby taking over via checkpoint handoff — serving the
+# migrated tenant warm, topology epoch preserved, with the coordinator
+# counters showing the probe failures and proxied reads.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke_name="cluster-smoke"
+. scripts/lib.sh
+
+port="${CLUSTER_SMOKE_PORT:-17490}"
+coord="http://127.0.0.1:$port"
+n1_addr="127.0.0.1:$((port + 1))"
+n2_addr="127.0.0.1:$((port + 2))"
+n3_addr="127.0.0.1:$((port + 3))"
+
+build_tmserve
+
+# tl runs the committed failure+reroute script (30 intervals, link
+# fails at 8, restored at 20) on n3, with n1 as its pinned warm
+# standby; eu and us replay endlessly so the cluster stays busy.
+cp examples/timelines/failure_reroute.json "$workdir/failover.json"
+
+cat > "$workdir/cluster.json" <<JSON
+{
+  "format": 1,
+  "tenants": [
+    {"name": "eu", "source": "europe", "cycles": -1, "pace": "100ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "us", "source": "america", "cycles": -1, "pace": "100ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "tl", "source": "scenario:script:$workdir/failover.json", "cycles": 1, "pace": "50ms", "window": 6, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5}
+  ],
+  "nodes": [
+    {"name": "n1", "addr": "$n1_addr"},
+    {"name": "n2", "addr": "$n2_addr"},
+    {"name": "n3", "addr": "$n3_addr"}
+  ],
+  "placement": {"eu": "n1", "us": "n2", "tl": "n3"},
+  "standbys": {"tl": "n1"},
+  "probe_every": "250ms",
+  "probe_failures": 2,
+  "sync_every": "250ms"
+}
+JSON
+
+say "booting 3 member nodes"
+start_tmserve "http://$n1_addr" -cluster "$workdir/cluster.json" -node n1 -checkpoint-dir "$workdir/ckpt-n1" -addr "$n1_addr"
+start_tmserve "http://$n2_addr" -cluster "$workdir/cluster.json" -node n2 -checkpoint-dir "$workdir/ckpt-n2" -addr "$n2_addr"
+start_tmserve "http://$n3_addr" -cluster "$workdir/cluster.json" -node n3 -checkpoint-dir "$workdir/ckpt-n3" -addr "$n3_addr"
+n3_pid="$last_pid"
+
+say "booting the coordinator"
+start_tmserve "$coord" -cluster "$workdir/cluster.json" -coordinator -addr "127.0.0.1:$port"
+
+cluster_healthy() {
+  [ "$(curl -sf "$coord/healthz" | jq -r .ok)" = "true" ]
+}
+wait_for 120 "coordinator reporting every node healthy" cluster_healthy
+
+# Every tenant must answer through the coordinator, each proxied to —
+# and stamped by — its owning node.
+say "reading every tenant through the coordinator"
+for pair in eu:n1 us:n2 tl:n3; do
+  name="${pair%%:*}" owner="${pair##*:}"
+  tenant_up() {
+    curl -sf -D "$workdir/hdr" "$coord/v1/t/$name/snapshot" > /dev/null 2>&1 \
+      && grep -qi "^x-tenant-node: *$owner" "$workdir/hdr"
+  }
+  wait_for 240 "tenant $name serving via $owner" tenant_up
+  say "tenant $name: served via $owner"
+done
+
+listed=$(curl -sf "$coord/v1/tenants" | jq '.tenants | length')
+if [ "$listed" != "3" ]; then
+  say "aggregated listing holds $listed tenants, want 3"
+  curl -s "$coord/v1/tenants" | jq .
+  exit 1
+fi
+
+# Phase 2: ride the scripted failure, and make sure the standby's
+# checkpoint sync has captured the post-swap state before the kill.
+tl_post_swap() {
+  local e
+  e=$(curl -sf "$coord/v1/t/tl/snapshot" | jq -r '.topology_epoch // 0') || return 1
+  [ "$e" -ge 1 ]
+}
+say "waiting for tl's scripted link failure (epoch >= 1)"
+wait_for 240 "tl past its topology swap" tl_post_swap
+
+standby_synced() {
+  [ -f "$workdir/ckpt-n1/tl.ckpt" ] || return 1
+  [ "$(jq -r '.topology_epoch // 0' "$workdir/ckpt-n1/tl.ckpt" 2>/dev/null)" -ge 1 ] 2>/dev/null || return 1
+  [ "$(jq -r '.snapshot != null' "$workdir/ckpt-n1/tl.ckpt")" = "true" ]
+}
+say "waiting for n1's standby checkpoint of tl to sync past the swap"
+wait_for 240 "standby checkpoint past the swap" standby_synced
+synced_epoch=$(jq -r .topology_epoch "$workdir/ckpt-n1/tl.ckpt")
+
+say "killing n3 (tl's owner)"
+stop_pid "$n3_pid"
+
+# Phase 3: probes mark n3 down, the coordinator promotes n1, and tl
+# serves from its synced checkpoint — warm, epoch intact.
+tl_on_n1() {
+  curl -sf -D "$workdir/hdr" -o "$workdir/tl-snap.json" "$coord/v1/t/tl/snapshot" 2>/dev/null \
+    && grep -qi '^x-tenant-node: *n1' "$workdir/hdr"
+}
+say "waiting for the standby to take over"
+wait_for 240 "tl served by standby n1" tl_on_n1
+
+epoch=$(jq -r '.topology_epoch // 0' "$workdir/tl-snap.json")
+if [ "$epoch" -lt "$synced_epoch" ]; then
+  say "handoff lost the topology epoch: serving $epoch, standby checkpoint had $synced_epoch"
+  exit 1
+fi
+restored=$(curl -sf "$coord/v1/tenants" | jq -r '.tenants[] | select(.name == "tl" and .node == "n1") | .restored')
+if [ "$restored" != "true" ]; then
+  say "promoted tenant does not report restored=true"
+  curl -s "$coord/v1/tenants" | jq .
+  exit 1
+fi
+say "tl migrated to n1: restored=true, epoch $epoch (standby had $synced_epoch)"
+
+# The coordinator's observability must show what just happened: n3
+# down with probe failures counted, and proxied reads on the survivors.
+report=$(curl -sf "$coord/v1/tenants")
+n3_healthy=$(echo "$report" | jq -r '.nodes[] | select(.name == "n3") | .healthy')
+n3_failures=$(echo "$report" | jq -r '.nodes[] | select(.name == "n3") | .probe_failures')
+proxied=$(echo "$report" | jq '[.nodes[].proxied] | add')
+if [ "$n3_healthy" != "false" ] || [ "$n3_failures" -lt 1 ]; then
+  say "node report does not show n3 down (healthy=$n3_healthy, probe_failures=$n3_failures)"
+  exit 1
+fi
+if [ "$proxied" -lt 1 ]; then
+  say "proxied counter is $proxied after all those reads"
+  exit 1
+fi
+say "node report: n3 down after $n3_failures probe failures, $proxied reads proxied"
+
+say "PASS"

@@ -7,24 +7,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-workdir="$(mktemp -d)"
-pid=""
-cleanup() {
-  if [ -n "$pid" ]; then
-    kill "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
-  fi
-  rm -rf "$workdir" 2>/dev/null || true
-}
-trap cleanup EXIT
+smoke_name="fleet-smoke"
+. scripts/lib.sh
 
 addr="127.0.0.1:${FLEET_SMOKE_PORT:-17481}"
 base="http://$addr"
 
-say() { echo "fleet-smoke: $*"; }
-
-say "building tmserve"
-go build -o "$workdir/tmserve" ./cmd/tmserve
+build_tmserve
 
 cat > "$workdir/fleet.json" <<'JSON'
 {
@@ -39,31 +28,17 @@ cat > "$workdir/fleet.json" <<'JSON'
 JSON
 names=(eu us lab-noisy lab-16)
 
-start_daemon() {
-  "$workdir/tmserve" -fleet "$workdir/fleet.json" -checkpoint-dir "$workdir/ckpt" -addr "$addr" &
-  pid=$!
-  for _ in $(seq 1 120); do
-    if curl -sf "$base/healthz" > /dev/null 2>&1; then return 0; fi
-    if ! kill -0 "$pid" 2>/dev/null; then
-      say "daemon died during startup"; exit 1
-    fi
-    sleep 0.25
-  done
-  say "daemon never came up on $addr"; exit 1
-}
-
 say "booting 4-tenant fleet"
-start_daemon
+start_tmserve "$base" -fleet "$workdir/fleet.json" -checkpoint-dir "$workdir/ckpt" -addr "$addr"
+daemon_pid="$last_pid"
 
+all_serving() {
+  [ "$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "serving" and .have_snapshot)] | length')" = "4" ]
+}
 say "waiting for every tenant to finish its replay"
-for _ in $(seq 1 240); do
-  serving=$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "serving" and .have_snapshot)] | length')
-  [ "$serving" = "4" ] && break
-  sleep 0.25
-done
-serving=$(curl -sf "$base/tenants" | jq '[.tenants[] | select(.state == "serving" and .have_snapshot)] | length')
-if [ "$serving" != "4" ]; then
-  say "only $serving/4 tenants serving"; curl -s "$base/tenants" | jq .; exit 1
+if ! wait_for 240 "4/4 tenants serving" all_serving; then
+  curl -s "$base/tenants" | jq .
+  exit 1
 fi
 
 declare -A versions intervals
@@ -78,9 +53,7 @@ for name in "${names[@]}"; do
 done
 
 say "stopping the daemon"
-kill -TERM "$pid"
-wait "$pid" || true
-pid=""
+stop_pid "$daemon_pid"
 
 for name in "${names[@]}"; do
   if [ ! -f "$workdir/ckpt/$name.ckpt" ]; then
@@ -95,7 +68,7 @@ jq '.tenants[].pace = "1h"' "$workdir/fleet.json" > "$workdir/fleet-slow.json"
 mv "$workdir/fleet-slow.json" "$workdir/fleet.json"
 
 say "restarting against the same -checkpoint-dir"
-start_daemon
+start_tmserve "$base" -fleet "$workdir/fleet.json" -checkpoint-dir "$workdir/ckpt" -addr "$addr"
 
 for name in "${names[@]}"; do
   # First request, no settling loop: restored snapshots must serve

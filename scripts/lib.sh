@@ -1,0 +1,77 @@
+# Shared plumbing for the smoke scripts (fleet_smoke.sh,
+# timeline_smoke.sh, cluster_smoke.sh): a temp workdir with an EXIT
+# cleanup that reaps every daemon started here, the tmserve build, the
+# boot-and-wait-for-healthz dance, and generic polling. Each script
+# sets smoke_name, sources this file from the repo root, and stays
+# about what it asserts instead of how it boots.
+
+workdir="$(mktemp -d)"
+pids=()
+last_pid=""
+
+say() { echo "$smoke_name: $*"; }
+
+cleanup() {
+  local pid
+  for pid in ${pids[@]+"${pids[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+build_tmserve() {
+  say "building tmserve"
+  go build -o "$workdir/tmserve" ./cmd/tmserve
+}
+
+# start_tmserve <base-url> <tmserve args...>: boot one daemon,
+# register it for cleanup, and gate on its /healthz answering. The pid
+# lands in $last_pid for scripts that kill a specific daemon later.
+start_tmserve() {
+  local base="$1"
+  shift
+  "$workdir/tmserve" "$@" &
+  last_pid=$!
+  pids+=("$last_pid")
+  wait_healthz "$base" "$last_pid"
+}
+
+# wait_healthz <base-url> [pid]: poll /healthz for up to 30s, failing
+# early if the daemon process died.
+wait_healthz() {
+  local base="$1" pid="${2:-}"
+  local _i
+  for _i in $(seq 1 120); do
+    if curl -sf "$base/healthz" > /dev/null 2>&1; then return 0; fi
+    if [ -n "$pid" ] && ! kill -0 "$pid" 2>/dev/null; then
+      say "daemon died during startup"
+      exit 1
+    fi
+    sleep 0.25
+  done
+  say "daemon never came up at $base"
+  exit 1
+}
+
+# stop_pid <pid>: stop one daemon (the restart or failover victim)
+# without tearing the rest of the smoke down.
+stop_pid() {
+  kill -TERM "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+# wait_for <tries> <what> <command...>: poll a predicate command every
+# 250ms; returns 1 (after saying so) when it never comes true.
+wait_for() {
+  local tries="$1" what="$2"
+  shift 2
+  local _i
+  for _i in $(seq 1 "$tries"); do
+    if "$@"; then return 0; fi
+    sleep 0.25
+  done
+  say "timed out waiting for $what"
+  return 1
+}

@@ -8,24 +8,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-workdir="$(mktemp -d)"
-pid=""
-cleanup() {
-  if [ -n "$pid" ]; then
-    kill "$pid" 2>/dev/null || true
-    wait "$pid" 2>/dev/null || true
-  fi
-  rm -rf "$workdir" 2>/dev/null || true
-}
-trap cleanup EXIT
+smoke_name="timeline-smoke"
+. scripts/lib.sh
 
 addr="127.0.0.1:${TIMELINE_SMOKE_PORT:-17482}"
 base="http://$addr"
 
-say() { echo "timeline-smoke: $*"; }
-
-say "building tmserve"
-go build -o "$workdir/tmserve" ./cmd/tmserve
+build_tmserve
 
 # The committed failure+reroute script: 30 intervals, one adjacency
 # fails at interval 8 and is restored at 20. Two tenants share the
@@ -45,31 +34,22 @@ JSON
 names=(tl-a tl-b)
 
 say "booting 2-tenant scripted fleet"
-"$workdir/tmserve" -fleet "$workdir/fleet.json" -addr "$addr" &
-pid=$!
-for _ in $(seq 1 120); do
-  if curl -sf "$base/healthz" > /dev/null 2>&1; then break; fi
-  if ! kill -0 "$pid" 2>/dev/null; then
-    say "daemon died during startup"; exit 1
-  fi
-  sleep 0.25
-done
+start_tmserve "$base" -fleet "$workdir/fleet.json" -addr "$addr"
+
+tenant_recovered() {
+  local snap interval epoch resolve
+  snap=$(curl -sf "$base/t/$1/snapshot" 2>/dev/null) || return 1
+  interval=$(echo "$snap" | jq -r '.interval // -1')
+  epoch=$(echo "$snap" | jq -r '.topology_epoch // 0')
+  resolve=$(echo "$snap" | jq -r '.resolve != null')
+  [ "$interval" = "29" ] && [ "$epoch" = "2" ] && [ "$resolve" = "true" ]
+}
+both_recovered() {
+  tenant_recovered tl-a && tenant_recovered tl-b
+}
 
 say "waiting for both timelines to ride through failure + restore"
-for _ in $(seq 1 240); do
-  done_count=0
-  for name in "${names[@]}"; do
-    snap=$(curl -sf "$base/t/$name/snapshot" 2>/dev/null) || continue
-    interval=$(echo "$snap" | jq -r '.interval // -1')
-    epoch=$(echo "$snap" | jq -r '.topology_epoch // 0')
-    resolve=$(echo "$snap" | jq -r '.resolve != null')
-    if [ "$interval" = "29" ] && [ "$epoch" = "2" ] && [ "$resolve" = "true" ]; then
-      done_count=$((done_count + 1))
-    fi
-  done
-  [ "$done_count" = "2" ] && break
-  sleep 0.25
-done
+wait_for 240 "both timelines recovered" both_recovered || true
 
 for name in "${names[@]}"; do
   snap=$(curl -sf "$base/t/$name/snapshot")
