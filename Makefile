@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke timeline-smoke cluster-smoke loadtest check
+.PHONY: build test test-short bench bench-baseline bench-check docs fmt vet staticcheck cover smoke timeline-smoke cluster-smoke obs-smoke loadtest check
 
 build:
 	$(GO) build ./...
@@ -52,15 +52,16 @@ bench-baseline:
 # (No tee: the recipe must fail on go test's exit code, not the pipe
 # tail's, so a b.Fatal mid-run cannot produce a green partial gate.)
 bench-check:
-	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout|TimelineSwap' -benchtime 1x -benchmem -run '^$$' . > bench-check.out
-	$(GO) run ./cmd/benchdiff -factor 2 -alloc-factor 2 -baseline BENCH_pr8.json -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json -baseline BENCH_pr7.json bench-check.out
+	$(GO) test -timeout 30m -bench 'Scale|Table1Vardi|ScenarioBuild|StreamResolve|FleetResolveFanout|SnapshotFanout|TimelineSwap|PromScrape' -benchtime 1x -benchmem -run '^$$' . > bench-check.out
+	$(GO) run ./cmd/benchdiff -factor 2 -alloc-factor 2 -baseline BENCH_pr10.json -baseline BENCH_pr8.json -baseline BENCH_seed.json -baseline BENCH_pr3.json -baseline BENCH_pr4.json -baseline BENCH_pr5.json -baseline BENCH_pr6.json -baseline BENCH_pr7.json bench-check.out
 	@rm -f bench-check.out
 
 # Docs gate: every package carries a package comment, the README flag
 # table matches the real flag sets, METHODS.md covers every estimation
-# method and experiment ID, and docs/API.md lists every served route.
+# method and experiment ID, docs/API.md lists every served route, and
+# docs/METRICS.md matches the live /metrics/prom registries.
 docs:
-	$(GO) test -run 'TestPackageComments|TestREADMEFlagDrift|TestMETHODSCoverage|TestAPIDocDrift' .
+	$(GO) test -run 'TestPackageComments|TestREADMEFlagDrift|TestMETHODSCoverage|TestAPIDocDrift|TestMetricsDocDrift' .
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -99,6 +100,14 @@ timeline-smoke:
 # takeover via checkpoint handoff (CI's cluster-smoke job).
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Observability smoke: boot a 2-tenant fleet with a scripted
+# flash-crowd tenant, gate on every telemetry family appearing on a
+# live /metrics/prom scrape, ride the drift spike until the anomaly
+# gauge and the degraded /healthz flip — then recover — and lint the
+# live exposition with internal/obs's validator (CI's obs-smoke job).
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Serving load test: drive a 2-tenant tmserve fleet with cmd/tmload's
 # poll + SSE client mix for ~10s, gating on zero errors and the p99

@@ -8,6 +8,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/linalg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -738,4 +740,68 @@ func BenchmarkTimelineSwap(b *testing.B) {
 		<-done
 	}
 	b.ReportMetric(float64(warmIters), "swap-iterations")
+}
+
+// BenchmarkPromScrape is the observability layer's anchor: one full
+// GET /metrics/prom render over a registry shaped like an 8-tenant
+// fleet daemon's — per-tenant latency/iteration histograms with
+// recorded observations, warm/cold resolve counters, and scrape-time
+// gauge collectors. One iteration is one text-exposition encode; the
+// benchdiff gate watches ns/op and allocs/op, pinning the encoder's
+// single-buffer render (a scrape must not cost per-sample heap
+// traffic, or a 15s-interval Prometheus would tax every tenant).
+func BenchmarkPromScrape(b *testing.B) {
+	reg := obs.NewRegistry()
+	tenants := make([]string, 8)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	durs := reg.Histogram("tm_resolve_duration_seconds", "Wall-clock latency of completed full re-solves.", nil, "tenant")
+	iters := reg.Histogram("tm_resolve_iterations", "Solver iterations per completed full re-solve.",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 20000}, "tenant")
+	resolves := reg.Counter("tm_resolves_total", "Completed full re-solves by warm-vs-cold start.", "tenant", "warm")
+	for ti, tn := range tenants {
+		for k := 0; k < 64; k++ {
+			durs.With(tn).Observe(float64(ti+1) * float64(k) * 0.003)
+			iters.With(tn).Observe(float64(50 + 97*k))
+		}
+		resolves.With(tn, "true").Add(60)
+		resolves.With(tn, "false").Add(4)
+	}
+	perTenant := func(scale float64) func(obs.Emit) {
+		return func(emit obs.Emit) {
+			for i, tn := range tenants {
+				emit(scale*float64(i+1), tn)
+			}
+		}
+	}
+	for _, g := range []struct {
+		name  string
+		scale float64
+	}{
+		{"tm_snapshot_version", 40}, {"tm_interval", 23}, {"tm_window_intervals", 6},
+		{"tm_window_coverage", 0.115}, {"tm_drift", 0.0125}, {"tm_topology_epoch", 1},
+		{"tm_gravity_mre", 0.021}, {"tm_resolve_mre", 0.011}, {"tm_anomaly_active", 0},
+	} {
+		reg.GaugeFunc(g.name, "bench gauge "+g.name+".", []string{"tenant"}, perTenant(g.scale))
+	}
+	reg.CounterFunc("tm_anomalies_total", "Drift-anomaly episodes.", []string{"tenant"}, perTenant(2))
+	reg.GaugeFunc("tm_fleet_tenants", "Tenants hosted.", nil, func(emit obs.Emit) { emit(8) })
+
+	var n int64
+	{
+		m, err := reg.WriteTo(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "exposition-bytes")
 }

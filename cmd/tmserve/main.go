@@ -60,6 +60,17 @@
 //	GET /t/{name}/metrics      tenant's estimation-error history
 //	GET /snapshot              single-tenant alias of /t/default/snapshot
 //	GET /metrics               single-tenant alias of /t/default/metrics
+//	GET /metrics/prom          Prometheus text-format telemetry: resolve
+//	                           latency/iteration histograms, drift and
+//	                           anomaly gauges, SLO degradation, serving
+//	                           counters (docs/METRICS.md)
+//
+// Per-tenant SLO thresholds (-slo-max-drift, -slo-max-resolve-mre,
+// -slo-max-ckpt-age; per tenant in fleet configs) mark a tenant
+// degraded with a named cause on /healthz — the HTTP status stays 200,
+// degradation is an operator signal, not a failover trigger — and the
+// drift-anomaly detector (-anomaly-factor) raises tm_anomaly_active
+// when window drift spikes past its rolling baseline.
 //
 // The daemon keeps serving after collections finish and shuts down
 // gracefully on SIGINT/SIGTERM via the usual context plumbing.
@@ -93,6 +104,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/fleet"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve"
 )
@@ -115,6 +127,11 @@ type config struct {
 	reg             float64
 	sigmaInv2       float64
 	checkpoint      string
+
+	sloMaxDrift      float64
+	sloMaxResolveMRE float64
+	sloMaxCkptAge    time.Duration
+	anomalyFactor    float64
 
 	fleetPath     string
 	checkpointDir string
@@ -156,6 +173,10 @@ func main() {
 	flag.IntVar(&cfg.resolveMaxEvery, "resolve-max-every", 0, "adaptive cadence cap: steady windows back the cadence off up to this (needs -drift-threshold; 0 = fixed cadence)")
 	flag.Float64Var(&cfg.driftThreshold, "drift-threshold", 0, "window drift (relative L1 between consecutive window means) that triggers an immediate re-solve; 0 = fixed cadence; requires -resolve-every > 0")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "checkpoint file: restore engine state on boot, persist it on every publication and at shutdown")
+	flag.Float64Var(&cfg.sloMaxDrift, "slo-max-drift", 0, "SLO: window drift beyond this marks the tenant degraded on /healthz and tm_tenant_degraded; 0 = no threshold")
+	flag.Float64Var(&cfg.sloMaxResolveMRE, "slo-max-resolve-mre", 0, "SLO: re-solve error (MRE against the window mean) beyond this marks the tenant degraded; 0 = no threshold")
+	flag.DurationVar(&cfg.sloMaxCkptAge, "slo-max-ckpt-age", 0, "SLO: a last successful checkpoint save older than this marks the tenant degraded (needs -checkpoint); 0 = no threshold")
+	flag.Float64Var(&cfg.anomalyFactor, "anomaly-factor", 0, "drift-anomaly detector: flag the tenant when window drift exceeds this factor times its rolling baseline (tm_anomaly_active); 0 = detector off")
 	flag.StringVar(&cfg.fleetPath, "fleet", "", "fleet config JSON declaring many tenants (multi-tenant mode; replay sources only)")
 	flag.StringVar(&cfg.clusterPath, "cluster", "", "cluster config JSON sharding a fleet across processes; combine with exactly one of -node or -coordinator")
 	flag.StringVar(&cfg.nodeName, "node", "", "run as the named cluster member: host the tenants -cluster assigns to it (requires -checkpoint-dir)")
@@ -192,6 +213,15 @@ func (cfg config) validate() error {
 	}
 	if cfg.maxWaiters < 0 {
 		return fmt.Errorf("-max-waiters %d is negative", cfg.maxWaiters)
+	}
+	if cfg.sloMaxDrift < 0 || cfg.sloMaxResolveMRE < 0 || cfg.sloMaxCkptAge < 0 {
+		return fmt.Errorf("SLO thresholds (-slo-max-drift, -slo-max-resolve-mre, -slo-max-ckpt-age) cannot be negative")
+	}
+	if cfg.anomalyFactor < 0 {
+		return fmt.Errorf("-anomaly-factor %v is negative", cfg.anomalyFactor)
+	}
+	if cfg.sloMaxCkptAge > 0 && cfg.checkpoint == "" && cfg.checkpointDir == "" {
+		return fmt.Errorf("-slo-max-ckpt-age watches checkpoint persistence: set -checkpoint (or -checkpoint-dir)")
 	}
 	if cfg.driftThreshold > 0 && cfg.resolveEvery <= 0 {
 		return fmt.Errorf("-drift-threshold %v requires full re-solves: set -resolve-every > 0 (drift can only trigger a re-solve that is enabled)", cfg.driftThreshold)
@@ -240,6 +270,8 @@ func (cfg config) validate() error {
 			"min-coverage", "resolve-every", "resolve-max-every",
 			"drift-threshold", "method", "reg", "sigma", "pace",
 			"pollers", "drop", "speed",
+			"slo-max-drift", "slo-max-resolve-mre", "slo-max-ckpt-age",
+			"anomaly-factor",
 		} {
 			if cfg.set[name] {
 				return fmt.Errorf("-%s is single-tenant only and ignored with %s; set it per tenant in the %s config", name, multi, multi[1:])
@@ -269,6 +301,13 @@ func singleTenantSpec(cfg config) (fleet.TenantSpec, error) {
 		Reg:             cfg.reg,
 		SigmaInv2:       cfg.sigmaInv2,
 		Checkpoint:      cfg.checkpoint,
+
+		SLOMaxDrift:      cfg.sloMaxDrift,
+		SLOMaxResolveMRE: cfg.sloMaxResolveMRE,
+		AnomalyFactor:    cfg.anomalyFactor,
+	}
+	if cfg.sloMaxCkptAge > 0 {
+		spec.SLOMaxCheckpointAge = cfg.sloMaxCkptAge.String()
 	}
 	switch {
 	case cfg.timeline != "":
@@ -321,8 +360,13 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		}
 		return runClusterNode(ctx, cc, cfg, out)
 	}
+	// One registry carries the whole daemon's telemetry: the fleet's
+	// estimation/SLO families and the server's serving families land on
+	// the same GET /metrics/prom scrape.
+	reg := obs.NewRegistry()
 	f := fleet.New(runner.NewPool(cfg.parallel), fleet.Options{
 		CheckpointDir: cfg.checkpointDir,
+		Metrics:       reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, "tmserve: "+format+"\n", args...)
 		},
@@ -358,7 +402,7 @@ func run(ctx context.Context, cfg config, out io.Writer) error {
 		return err
 	}
 
-	return serveFleet(ctx, f, cfg, nil, out)
+	return serveFleet(ctx, f, cfg, nil, reg, out)
 }
 
 // runClusterNode boots one cluster member: a fleet holding only the
@@ -369,9 +413,11 @@ func runClusterNode(ctx context.Context, cc cluster.Config, cfg config, out io.W
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(out, "tmserve: "+format+"\n", args...)
 	}
+	reg := obs.NewRegistry()
 	f := fleet.New(runner.NewPool(cfg.parallel), fleet.Options{
 		CheckpointDir: cfg.checkpointDir,
 		AllowEmpty:    true, // standby nodes start with zero tenants
+		Metrics:       reg,
 		Logf:          logf,
 	})
 	for _, spec := range cc.OwnedBy(cfg.nodeName) {
@@ -388,7 +434,7 @@ func runClusterNode(ctx context.Context, cc cluster.Config, cfg config, out io.W
 	}
 	fmt.Fprintf(out, "tmserve: cluster node %s: hosting %d tenant(s), standby for %d\n",
 		cfg.nodeName, len(cc.OwnedBy(cfg.nodeName)), len(cc.StandbyOn(cfg.nodeName)))
-	return serveFleet(ctx, f, cfg, node, out)
+	return serveFleet(ctx, f, cfg, node, reg, out)
 }
 
 // runCoordinator boots the cluster's front door: no engines, no
@@ -480,7 +526,7 @@ func addClassicTenant(f *fleet.Fleet, cfg config, spec fleet.TenantSpec) error {
 // restored) fleet and blocks until ctx is done. node is non-nil only in
 // cluster mode: it runs the standby sync loops and unlocks the
 // cluster-only endpoints (checkpoint export, adoption).
-func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, node *cluster.Node, out io.Writer) error {
+func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, node *cluster.Node, reg *obs.Registry, out io.Writer) error {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -512,6 +558,7 @@ func serveFleet(ctx context.Context, f *fleet.Fleet, cfg config, node *cluster.N
 		Single:     cfg.fleetPath == "" && cfg.clusterPath == "",
 		MaxWaiters: cfg.maxWaiters,
 		Node:       admin,
+		Metrics:    reg,
 	}).Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -3,6 +3,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"go/parser"
 	"go/token"
@@ -12,7 +13,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/serve"
 )
 
@@ -179,5 +184,63 @@ func TestMETHODSCoverage(t *testing.T) {
 		if !strings.Contains(doc, "`"+d.ID+"`") {
 			t.Errorf("METHODS.md does not mention experiment ID %s (%s)", d.ID, d.Title)
 		}
+	}
+}
+
+// TestMetricsDocDrift fails when docs/METRICS.md and the live metric
+// registries diverge: every family a production daemon registers must
+// appear as a table row with matching type and label set, and every
+// documented row must name a family that still exists. The registries
+// are built exactly the way the daemons build them — one shared
+// registry through fleet.Options.Metrics and serve.Options.Metrics,
+// plus the coordinator families — so a rename, a label change or a
+// forgotten doc row all fail go test.
+func TestMetricsDocDrift(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := fleet.New(runner.NewPool(1), fleet.Options{Metrics: reg, AllowEmpty: true})
+	serve.New(ctx, f, serve.Options{Metrics: reg})
+	// Coordinator families live on their own registry in production;
+	// names are disjoint, so one registry can enumerate all three layers.
+	serve.RegisterCoordinatorMetrics(reg, func() []cluster.NodeReport { return nil })
+
+	registered := make(map[string]obs.Family)
+	for _, fam := range reg.Families() {
+		registered[fam.Name] = fam
+	}
+
+	doc, err := os.ReadFile("docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRe := regexp.MustCompile("(?m)^\\| `(tm_[a-z0-9_]+)` \\| (counter|gauge|histogram) \\| ([^|]*) \\|")
+	documented := make(map[string]bool)
+	for _, m := range rowRe.FindAllStringSubmatch(string(doc), -1) {
+		name, typ := m[1], m[2]
+		var labels []string
+		for _, l := range regexp.MustCompile("`([a-z_]+)`").FindAllStringSubmatch(m[3], -1) {
+			labels = append(labels, l[1])
+		}
+		documented[name] = true
+		fam, ok := registered[name]
+		if !ok {
+			t.Errorf("docs/METRICS.md documents %s, which no registry exports", name)
+			continue
+		}
+		if string(fam.Type) != typ {
+			t.Errorf("docs/METRICS.md says %s is a %s; the registry says %s", name, typ, fam.Type)
+		}
+		if strings.Join(labels, ",") != strings.Join(fam.Labels, ",") {
+			t.Errorf("docs/METRICS.md says %s has labels %v; the registry says %v", name, labels, fam.Labels)
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("registry exports %s but docs/METRICS.md does not document it", name)
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric rows parsed from docs/METRICS.md")
 	}
 }

@@ -72,6 +72,29 @@ type TenantSpec struct {
 	// clients get 429 + Retry-After. 0 selects the daemon-wide
 	// -max-waiters value.
 	MaxWaiters int `json:"max_waiters,omitempty"`
+
+	// Per-tenant SLO thresholds. When any is exceeded the tenant
+	// reports Degraded with a named cause in its Status, /healthz flips
+	// to degraded (the HTTP status stays 200 — cluster liveness probes
+	// gate on it; degradation is an operator signal, not a failover
+	// trigger), and the tm_tenant_degraded gauge raises. 0 disables
+	// each threshold.
+	SLOMaxDrift      float64 `json:"slo_max_drift,omitempty"`
+	SLOMaxResolveMRE float64 `json:"slo_max_resolve_mre,omitempty"`
+	// SLOMaxCheckpointAge is a Go duration string ("30s"): the maximum
+	// acceptable age of the tenant's last successful checkpoint save.
+	// It only ever fires for checkpointed tenants.
+	SLOMaxCheckpointAge string `json:"slo_max_checkpoint_age,omitempty"`
+
+	// Drift-anomaly detector knobs (stream.Config.Anomaly*): a window
+	// drift beyond AnomalyFactor times the rolling baseline (and the
+	// AnomalyMinDrift floor) marks the tenant anomalous — the paper's
+	// downstream traffic-anomaly-detection use. Factor 0 disables the
+	// detector; window and floor 0 select the stream defaults (8,
+	// 0.05).
+	AnomalyFactor   float64 `json:"anomaly_factor,omitempty"`
+	AnomalyWindow   int     `json:"anomaly_window,omitempty"`
+	AnomalyMinDrift float64 `json:"anomaly_min_drift,omitempty"`
 }
 
 // Config is the versioned fleet declaration `tmserve -fleet` loads.
@@ -129,6 +152,18 @@ func ValidateTenants(tenants []TenantSpec) error {
 		if t.MaxWaiters < 0 {
 			return fmt.Errorf("fleet: tenant %q: max_waiters %d is negative", t.Name, t.MaxWaiters)
 		}
+		if t.SLOMaxDrift < 0 {
+			return fmt.Errorf("fleet: tenant %q: slo_max_drift %v is negative", t.Name, t.SLOMaxDrift)
+		}
+		if t.SLOMaxResolveMRE < 0 {
+			return fmt.Errorf("fleet: tenant %q: slo_max_resolve_mre %v is negative", t.Name, t.SLOMaxResolveMRE)
+		}
+		if _, err := t.sloMaxCheckpointAge(); err != nil {
+			return fmt.Errorf("fleet: tenant %q: %w", t.Name, err)
+		}
+		if t.AnomalyFactor < 0 || t.AnomalyWindow < 0 || t.AnomalyMinDrift < 0 {
+			return fmt.Errorf("fleet: tenant %q: negative anomaly parameter", t.Name)
+		}
 	}
 	return nil
 }
@@ -157,6 +192,22 @@ func (s TenantSpec) pace() (time.Duration, error) {
 	}
 	if d < 0 {
 		return 0, fmt.Errorf("pace %q is negative", s.Pace)
+	}
+	return d, nil
+}
+
+// sloMaxCheckpointAge parses the checkpoint-age SLO; zero means no
+// threshold.
+func (s TenantSpec) sloMaxCheckpointAge() (time.Duration, error) {
+	if s.SLOMaxCheckpointAge == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s.SLOMaxCheckpointAge)
+	if err != nil {
+		return 0, fmt.Errorf("slo_max_checkpoint_age %q is not a duration", s.SLOMaxCheckpointAge)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("slo_max_checkpoint_age %q is not positive", s.SLOMaxCheckpointAge)
 	}
 	return d, nil
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sparse"
@@ -91,6 +92,12 @@ type Tenant struct {
 	// correctness never depends on it.
 	canon *sparse.Matrix
 
+	// lastSave is the UnixNano of the last successful checkpoint write
+	// (persistLoop or SaveAll), 0 before the first. Atomic so the
+	// scrape-time tm_checkpoint_age_seconds collector and the SLO
+	// evaluation never contend with the persist loop.
+	lastSave atomic.Int64
+
 	mu         sync.Mutex
 	state      TenantState
 	err        error
@@ -114,6 +121,20 @@ func (t *Tenant) Scenario() *netsim.Scenario { return t.sc }
 // Timeline returns the compiled timeline of a scenario:script tenant,
 // nil for every other source.
 func (t *Tenant) Timeline() *timeline.Timeline { return t.tl }
+
+// noteSaved records a successful checkpoint write.
+func (t *Tenant) noteSaved() { t.lastSave.Store(time.Now().UnixNano()) }
+
+// CheckpointAge is the time since the tenant's last successful
+// checkpoint save; ok is false when none has happened yet (including
+// every un-checkpointed tenant).
+func (t *Tenant) CheckpointAge() (time.Duration, bool) {
+	ns := t.lastSave.Load()
+	if ns == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, ns)), true
+}
 
 // armSwaps arms a script tenant's scripted topology swaps on its
 // engine, once; a no-op for other tenants and on repeat calls.
@@ -167,6 +188,21 @@ type Status struct {
 	HaveSnapshot bool   `json:"have_snapshot"`
 	Version      uint64 `json:"version"`
 	Interval     int    `json:"interval"`
+	// Drift/ResolveMRE/AnomalyActive/Anomalies mirror the newest
+	// estimation metric point — the observability fields the SLO
+	// thresholds judge.
+	Drift         float64 `json:"drift"`
+	ResolveMRE    float64 `json:"resolve_mre"`
+	AnomalyActive bool    `json:"anomaly_active,omitempty"`
+	Anomalies     int     `json:"anomalies,omitempty"`
+	// CheckpointAgeSeconds is the age of the last successful checkpoint
+	// save; absent until one lands (and for un-checkpointed tenants).
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	// Degraded reports an exceeded SLO threshold (TenantSpec.SLO*);
+	// DegradedCause names the first one. /healthz aggregates these
+	// without changing its HTTP status.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // Status reports the tenant's current lifecycle and snapshot position.
@@ -192,7 +228,38 @@ func (t *Tenant) Status() Status {
 		s.Version = version
 		s.Interval = interval
 	}
+	if lm, ok := t.eng.LastMetric(); ok {
+		s.Drift = lm.Drift
+		s.ResolveMRE = lm.ResolveMRE
+		s.AnomalyActive = lm.AnomalyActive
+		s.Anomalies = lm.Anomalies
+	}
+	if age, ok := t.CheckpointAge(); ok {
+		s.CheckpointAgeSeconds = age.Seconds()
+	}
+	s.Degraded, s.DegradedCause = t.degraded(s)
 	return s
+}
+
+// degraded evaluates the spec's SLO thresholds against the live
+// status; the first exceeded threshold names the cause.
+func (t *Tenant) degraded(s Status) (bool, string) {
+	spec := t.spec
+	if !s.HaveSnapshot {
+		return false, ""
+	}
+	if spec.SLOMaxDrift > 0 && s.Drift > spec.SLOMaxDrift {
+		return true, fmt.Sprintf("drift %.4g above SLO max %g", s.Drift, spec.SLOMaxDrift)
+	}
+	if spec.SLOMaxResolveMRE > 0 && s.ResolveMRE > spec.SLOMaxResolveMRE {
+		return true, fmt.Sprintf("resolve MRE %.4g above SLO max %g", s.ResolveMRE, spec.SLOMaxResolveMRE)
+	}
+	if maxAge, _ := spec.sloMaxCheckpointAge(); maxAge > 0 {
+		if age, ok := t.CheckpointAge(); ok && age > maxAge {
+			return true, fmt.Sprintf("checkpoint age %s above SLO max %s", age.Round(time.Millisecond), maxAge)
+		}
+	}
+	return false, ""
 }
 
 // Options tunes a Fleet.
@@ -210,6 +277,14 @@ type Options struct {
 	// everything else keeps the "no tenants is a misconfiguration"
 	// error.
 	AllowEmpty bool
+	// Metrics, when non-nil, is the Prometheus-format registry
+	// (internal/obs) the fleet registers its telemetry families on:
+	// per-tenant resolve latency/iteration histograms and warm-vs-cold
+	// counters fed by every engine's OnResolve hook, plus scrape-time
+	// collectors over live engine and scheduler state. The host shares
+	// one registry with the serving layer (serve.Options.Metrics) so a
+	// single /metrics/prom scrape covers estimation and serving alike.
+	Metrics *obs.Registry
 }
 
 // Fleet hosts many tenants over one shared re-solve pool. Create with
@@ -224,6 +299,9 @@ type Fleet struct {
 	// equal routing matrices — the common case when many tenants replay
 	// the same scenario family — compute them once fleet-wide.
 	solve *core.SolveCache
+
+	// metrics is non-nil when Options.Metrics wired a registry in.
+	metrics *fleetMetrics
 
 	mu       sync.Mutex
 	tenants  []*Tenant
@@ -252,7 +330,7 @@ func New(pool *runner.Pool, opts Options) *Fleet {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Fleet{
+	f := &Fleet{
 		pool:     pool,
 		opts:     opts,
 		solve:    core.NewSolveCache(),
@@ -260,6 +338,10 @@ func New(pool *runner.Pool, opts Options) *Fleet {
 		inflight: make(map[string]bool),
 		kick:     make(chan struct{}, 1),
 	}
+	if opts.Metrics != nil {
+		f.registerMetrics(opts.Metrics)
+	}
+	return f
 }
 
 // Pool returns the shared re-solve pool.
@@ -367,12 +449,21 @@ func (f *Fleet) add(spec TenantSpec, sc *netsim.Scenario, feed Feed, adopt bool)
 	if !nameRe.MatchString(spec.Name) {
 		return nil, fmt.Errorf("fleet: tenant name %q is not a [A-Za-z0-9._-]+ identifier", spec.Name)
 	}
+	if _, err := spec.sloMaxCheckpointAge(); err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	if spec.SLOMaxDrift < 0 || spec.SLOMaxResolveMRE < 0 {
+		return nil, fmt.Errorf("fleet: tenant %q: negative SLO threshold", spec.Name)
+	}
 	cfg, err := streamConfig(spec)
 	if err != nil {
 		return nil, err
 	}
 	cfg.ResolveDispatch = f.kickScheduler
 	cfg.Solve = f.solve
+	if f.metrics != nil {
+		cfg.OnResolve = f.metrics.onResolve(spec.Name)
+	}
 	eng, err := stream.New(sc.Rt, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
@@ -406,6 +497,9 @@ func streamConfig(spec TenantSpec) (stream.Config, error) {
 		SigmaInv2:       spec.SigmaInv2,
 		ResolveMaxIter:  spec.ResolveMaxIter,
 		ResolveTol:      spec.ResolveTol,
+		AnomalyFactor:   spec.AnomalyFactor,
+		AnomalyWindow:   spec.AnomalyWindow,
+		AnomalyMinDrift: spec.AnomalyMinDrift,
 		// Each tenant's engine is its store's only consumer, so consumed
 		// intervals are discarded — endless tenants hold O(window) state.
 		PruneConsumed: true,
@@ -549,7 +643,9 @@ func (f *Fleet) SaveAll() error {
 		}
 		if err := stream.SaveCheckpoint(path, t.eng.Checkpoint()); err != nil {
 			errs = append(errs, fmt.Errorf("fleet: tenant %q: %w", t.spec.Name, err))
+			continue
 		}
+		t.noteSaved()
 	}
 	return errors.Join(errs...)
 }
@@ -748,7 +844,9 @@ func (f *Fleet) persistLoop(ctx context.Context, t *Tenant, path string) {
 	save := func() {
 		if err := stream.SaveCheckpoint(path, t.eng.Checkpoint()); err != nil {
 			f.opts.Logf("tenant %s: checkpoint save: %v", t.spec.Name, err)
+			return
 		}
+		t.noteSaved()
 	}
 	if snap, ok := t.eng.Latest(); ok {
 		// Persist what is already published before waiting: a restored

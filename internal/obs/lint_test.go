@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLintAccepts(t *testing.T) {
+	good := []string{
+		"",
+		"tm_untyped_ok 1\n",
+		"# random comment\ntm_x 1\n",
+		"# HELP tm_a Help with \\\\ and \\n escapes.\n# TYPE tm_a counter\ntm_a 0\n",
+		"tm_ts{a=\"b\"} 1 1700000000000\n",
+		"# TYPE tm_h histogram\ntm_h_bucket{le=\"1\"} 1\ntm_h_bucket{le=\"+Inf\"} 2\ntm_h_sum 3.5\ntm_h_count 2\n",
+		"tm_esc{v=\"a\\\\b\\\"c\\nd\"} 1\n",
+		"tm_inf 1\ntm_other NaN\n",
+	}
+	for _, in := range good {
+		if err := Lint(strings.NewReader(in)); err != nil {
+			t.Errorf("Lint(%q) = %v, want nil", in, err)
+		}
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	bad := map[string]string{
+		"HELP after sample":   "tm_a 1\n# HELP tm_a late\n",
+		"TYPE after sample":   "tm_a 1\n# TYPE tm_a counter\n",
+		"double HELP":         "# HELP tm_a x\n# HELP tm_a y\n",
+		"double TYPE":         "# TYPE tm_a gauge\n# TYPE tm_a gauge\n",
+		"unknown type":        "# TYPE tm_a chart\n",
+		"bad metric name":     "0tm 1\n",
+		"bad label name":      "tm_a{0b=\"x\"} 1\n",
+		"duplicate label":     "tm_a{b=\"x\",b=\"y\"} 1\n",
+		"bad escape":          "tm_a{b=\"x\\t\"} 1\n",
+		"unterminated value":  "tm_a{b=\"x} 1\n",
+		"unquoted value":      "tm_a{b=x} 1\n",
+		"bad value":           "tm_a one\n",
+		"bad timestamp":       "tm_a 1 soon\n",
+		"duplicate sample":    "tm_a{b=\"x\"} 1\ntm_a{b=\"x\"} 2\n",
+		"negative counter":    "# TYPE tm_a counter\ntm_a -1\n",
+		"NaN counter":         "# TYPE tm_a counter\ntm_a NaN\n",
+		"interleaved":         "tm_a 1\ntm_b 1\ntm_a{x=\"2\"} 1\n",
+		"help bad escape":     "# HELP tm_a bad \\t escape\n",
+		"hist no +Inf":        "# TYPE tm_h histogram\ntm_h_bucket{le=\"1\"} 1\ntm_h_sum 1\ntm_h_count 1\n",
+		"hist no sum":         "# TYPE tm_h histogram\ntm_h_bucket{le=\"+Inf\"} 1\ntm_h_count 1\n",
+		"hist no count":       "# TYPE tm_h histogram\ntm_h_bucket{le=\"+Inf\"} 1\ntm_h_sum 1\n",
+		"hist count mismatch": "# TYPE tm_h histogram\ntm_h_bucket{le=\"+Inf\"} 1\ntm_h_sum 1\ntm_h_count 2\n",
+		"hist not cumulative": "# TYPE tm_h histogram\ntm_h_bucket{le=\"1\"} 5\ntm_h_bucket{le=\"2\"} 3\ntm_h_bucket{le=\"+Inf\"} 5\ntm_h_sum 1\ntm_h_count 5\n",
+		"hist le order":       "# TYPE tm_h histogram\ntm_h_bucket{le=\"2\"} 1\ntm_h_bucket{le=\"1\"} 1\ntm_h_bucket{le=\"+Inf\"} 1\ntm_h_sum 1\ntm_h_count 1\n",
+		"hist bucket no le":   "# TYPE tm_h histogram\ntm_h_bucket 1\n",
+		"hist bad le":         "# TYPE tm_h histogram\ntm_h_bucket{le=\"wide\"} 1\n",
+		"hist stray series":   "# TYPE tm_h histogram\ntm_h 1\n",
+		"hist orphan count":   "# TYPE tm_h histogram\ntm_h_count 1\n",
+	}
+	for name, in := range bad {
+		if err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Lint(%q) = nil, want error", name, in)
+		}
+	}
+}
+
+// TestLintLiveURL scrapes and lints a running daemon when
+// OBS_LINT_URL is set — the hook scripts/obs_smoke.sh uses to gate a
+// live /metrics/prom endpoint with the same validator.
+func TestLintLiveURL(t *testing.T) {
+	url := os.Getenv("OBS_LINT_URL")
+	if url == "" {
+		t.Skip("OBS_LINT_URL not set")
+	}
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("scrape %s: status %d", url, res.StatusCode)
+	}
+	if got := res.Header.Get("Content-Type"); got != ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, ContentType)
+	}
+	if err := Lint(res.Body); err != nil {
+		t.Fatalf("live exposition at %s fails lint: %v", url, err)
+	}
+}

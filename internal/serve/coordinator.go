@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 // proxyTargetKey carries the resolved owner through the request
@@ -28,9 +29,10 @@ type proxyTargetKey struct{}
 // the listing and the X-Tenant-Node header naming who actually
 // answered.
 type Coordinator struct {
-	c      *cluster.Coordinator
-	client *http.Client
-	proxy  *httputil.ReverseProxy
+	c       *cluster.Coordinator
+	client  *http.Client
+	proxy   *httputil.ReverseProxy
+	metrics *obs.Registry
 }
 
 // NewCoordinator builds the front door over a cluster coordinator.
@@ -40,7 +42,8 @@ func NewCoordinator(c *cluster.Coordinator, client *http.Client) *Coordinator {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	co := &Coordinator{c: c, client: client}
+	co := &Coordinator{c: c, client: client, metrics: obs.NewRegistry()}
+	RegisterCoordinatorMetrics(co.metrics, c.Report)
 	co.proxy = &httputil.ReverseProxy{
 		Director: func(r *http.Request) {
 			addr := r.Context().Value(proxyTargetKey{}).(string)
@@ -63,7 +66,50 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/tenants", co.handleTenants)
 	mux.HandleFunc("/v1/t/", co.handleTenant)
 	mux.HandleFunc("/v1/cluster/", co.handleCluster)
+	mux.Handle("/metrics/prom", co.metrics.Handler())
 	return mux
+}
+
+// RegisterCoordinatorMetrics declares the coordinator's per-node
+// telemetry families on reg, collected from the cluster report each
+// scrape: health, cumulative probe failures, and the proxy/redirect
+// routing counters. Exported (with the report function as a seam) so
+// the doc drift gate can enumerate the coordinator's families without
+// standing up a cluster.
+func RegisterCoordinatorMetrics(reg *obs.Registry, report func() []cluster.NodeReport) {
+	node := []string{"node"}
+	each := func(emit obs.Emit, field func(n cluster.NodeReport) float64) {
+		for _, n := range report() {
+			emit(field(n), n.Name)
+		}
+	}
+	reg.GaugeFunc("tm_node_healthy", "1 while the member node passes health probes, else 0.", node,
+		func(emit obs.Emit) {
+			each(emit, func(n cluster.NodeReport) float64 { return boolSample(n.Healthy) })
+		})
+	reg.GaugeFunc("tm_node_tenants", "Tenants currently routed to the member node.", node,
+		func(emit obs.Emit) {
+			each(emit, func(n cluster.NodeReport) float64 { return float64(len(n.Tenants)) })
+		})
+	reg.CounterFunc("tm_node_probe_failures_total", "Failed health probes against the member node since coordinator boot.", node,
+		func(emit obs.Emit) {
+			each(emit, func(n cluster.NodeReport) float64 { return float64(n.ProbeFailures) })
+		})
+	reg.CounterFunc("tm_node_proxied_total", "Tenant-scoped requests proxied to the member node.", node,
+		func(emit obs.Emit) {
+			each(emit, func(n cluster.NodeReport) float64 { return float64(n.Proxied) })
+		})
+	reg.CounterFunc("tm_node_redirected_total", "Tenant-scoped requests 307-redirected to the member node.", node,
+		func(emit obs.Emit) {
+			each(emit, func(n cluster.NodeReport) float64 { return float64(n.Redirected) })
+		})
+}
+
+func boolSample(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -46,6 +46,8 @@ type DeltaScalars struct {
 	Skipped           int           `json:"skipped"`
 	Drift             float64       `json:"drift"`
 	TopologyEpoch     int           `json:"topology_epoch"`
+	AnomalyActive     bool          `json:"anomaly_active,omitempty"`
+	Anomalies         int           `json:"anomalies,omitempty"`
 	GravityMRE        float64       `json:"gravity_mre"`
 	ResolveMethod     stream.Method `json:"resolve_method,omitempty"`
 	ResolveMRE        float64       `json:"resolve_mre"`
@@ -147,6 +149,8 @@ func ComputeDelta(prev, next stream.Snapshot) *Delta {
 			Skipped:           next.Skipped,
 			Drift:             next.Drift,
 			TopologyEpoch:     next.TopologyEpoch,
+			AnomalyActive:     next.AnomalyActive,
+			Anomalies:         next.Anomalies,
 			GravityMRE:        next.GravityMRE,
 			ResolveMethod:     next.ResolveMethod,
 			ResolveMRE:        next.ResolveMRE,
@@ -207,6 +211,8 @@ func Apply(base stream.Snapshot, d *Delta) (stream.Snapshot, error) {
 		Skipped:           d.Set.Skipped,
 		Drift:             d.Set.Drift,
 		TopologyEpoch:     d.Set.TopologyEpoch,
+		AnomalyActive:     d.Set.AnomalyActive,
+		Anomalies:         d.Set.Anomalies,
 		GravityMRE:        d.Set.GravityMRE,
 		ResolveMethod:     d.Set.ResolveMethod,
 		ResolveMRE:        d.Set.ResolveMRE,

@@ -102,6 +102,7 @@ type Hub struct {
 	servedWaits atomic.Uint64 // WaitMin calls answered (fast path + parked)
 	broadcasts  atomic.Uint64 // publications fanned out
 	droppedSubs atomic.Uint64 // subscribers closed for falling behind
+	shedWaiters atomic.Uint64 // WaitMin/Subscribe refusals at the waiter cap
 }
 
 // NewHub creates a hub over a source. Drive it with Run (usually one
@@ -227,6 +228,7 @@ func (h *Hub) WaitMin(ctx context.Context, min uint64) (*Entry, error) {
 	}
 	if len(h.waiters)+len(h.subs) >= h.cfg.MaxWaiters {
 		h.mu.Unlock()
+		h.shedWaiters.Add(1)
 		return nil, ErrTooManyWaiters
 	}
 	w := waiterPool.Get().(*waiter)
@@ -261,6 +263,7 @@ func (h *Hub) Subscribe() (*Subscription, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.waiters)+len(h.subs) >= h.cfg.MaxWaiters {
+		h.shedWaiters.Add(1)
 		return nil, ErrTooManyWaiters
 	}
 	s := &Subscription{ch: make(chan *Entry, h.cfg.SubscriberBuffer), hub: h}
@@ -279,6 +282,7 @@ type HubStats struct {
 	ServedWaits        uint64 `json:"served_waits"`
 	Broadcasts         uint64 `json:"broadcasts"`
 	DroppedSubscribers uint64 `json:"dropped_subscribers"`
+	ShedWaiters        uint64 `json:"shed_waiters"`
 	CachedVersions     int    `json:"cached_versions"`
 	MaxWaiters         int    `json:"max_waiters"`
 }
@@ -302,6 +306,7 @@ func (h *Hub) Stats() HubStats {
 		ServedWaits:        h.servedWaits.Load(),
 		Broadcasts:         h.broadcasts.Load(),
 		DroppedSubscribers: h.droppedSubs.Load(),
+		ShedWaiters:        h.shedWaiters.Load(),
 		CachedVersions:     h.cache.Len(),
 		MaxWaiters:         h.cfg.MaxWaiters,
 	}

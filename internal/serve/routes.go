@@ -35,8 +35,10 @@ func Routes() []Route {
 			Summary: "Server-Sent Events stream of version announcements and deltas"},
 		{Method: "GET", Pattern: "/v1/t/{name}/metrics",
 			Summary: "tenant's estimation-error history"},
+		{Method: "GET", Pattern: "/metrics/prom",
+			Summary: "Prometheus text-format telemetry: estimation, SLO and serving families for every hosted tenant"},
 		{Method: "GET", Pattern: "/healthz", Legacy: true,
-			Summary: "liveness plus per-tenant state"},
+			Summary: "liveness plus per-tenant state and SLO degradation causes"},
 		{Method: "GET", Pattern: "/tenants", Legacy: true,
 			Summary: "every tenant's status"},
 		{Method: "GET", Pattern: "/t/{name}/snapshot", Legacy: true,
@@ -68,6 +70,8 @@ func CoordinatorRoutes() []Route {
 			Summary: "estimation-error history from the owning node"},
 		{Method: "GET", Pattern: "/v1/t/{name}/checkpoint",
 			Summary: "the owning node's handoff checkpoint"},
+		{Method: "GET", Pattern: "/metrics/prom",
+			Summary: "Prometheus text-format telemetry: per-node health, probe-failure and proxy/redirect routing counters"},
 		{Method: "POST", Pattern: "/v1/cluster/migrate",
 			Summary: "move a tenant via checkpoint handoff: ?tenant=X&to=node pulls the owner's checkpoint, ships it to the target's adopt endpoint and repoints routing"},
 		{Method: "GET", Pattern: "/healthz", Legacy: true,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -76,16 +77,22 @@ type Options struct {
 	// LongPollTimeout bounds ?min_version waits; <= 0 selects
 	// DefaultLongPollTimeout.
 	LongPollTimeout time.Duration
+	// Metrics is the registry GET /metrics/prom renders. The daemon
+	// shares one registry between the fleet and the server so estimation
+	// and serving telemetry land on a single scrape; nil gets a private
+	// registry carrying only the serving families.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP read path over a fleet: one hub per tenant, the
 // versioned /v1 API on top, and the legacy routes as byte-compatible
 // aliases. Construct with New, mount with Handler.
 type Server struct {
-	runCtx context.Context
-	f      Backend
-	opts   Options
-	single fleet.Handle // first tenant, backing the single-tenant aliases
+	runCtx  context.Context
+	f       Backend
+	opts    Options
+	single  fleet.Handle // first tenant, backing the single-tenant aliases
+	metrics *obs.Registry
 
 	hubMu sync.Mutex
 	hubs  map[string]*Hub
@@ -115,7 +122,61 @@ func New(runCtx context.Context, f Backend, opts Options) *Server {
 		}
 		s.hubFor(t)
 	}
+	s.metrics = opts.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.registerMetrics()
 	return s
+}
+
+// registerMetrics declares the serving-side telemetry families: hub
+// fan-out state and counters, labeled by tenant. Collectors walk the
+// live hub set per scrape, so tenants adopted after construction are
+// covered the moment their hub exists.
+func (s *Server) registerMetrics() {
+	eachHub := func(emit obs.Emit, field func(st HubStats) float64) {
+		for _, t := range s.f.Handles() {
+			h, ok := s.Hub(t.Name())
+			if !ok {
+				continue // adopted tenant not yet touched
+			}
+			emit(field(h.Stats()), t.Name())
+		}
+	}
+	tenant := []string{"tenant"}
+	gauges := []struct {
+		name, help string
+		field      func(st HubStats) float64
+	}{
+		{"tm_serving_waiters", "Long-poll waiters currently parked on the tenant's hub.",
+			func(st HubStats) float64 { return float64(st.Waiters) }},
+		{"tm_serving_subscribers", "SSE subscribers currently attached to the tenant's hub.",
+			func(st HubStats) float64 { return float64(st.Subscribers) }},
+		{"tm_serving_cached_versions", "Encoded snapshot versions retained for delta chains and conditional gets.",
+			func(st HubStats) float64 { return float64(st.CachedVersions) }},
+	}
+	for _, g := range gauges {
+		field := g.field
+		s.metrics.GaugeFunc(g.name, g.help, tenant, func(emit obs.Emit) { eachHub(emit, field) })
+	}
+	counters := []struct {
+		name, help string
+		field      func(st HubStats) float64
+	}{
+		{"tm_served_waits_total", "Long-poll waits answered (fast path and parked).",
+			func(st HubStats) float64 { return float64(st.ServedWaits) }},
+		{"tm_snapshot_broadcasts_total", "Snapshot publications encoded and fanned out by the tenant's hub.",
+			func(st HubStats) float64 { return float64(st.Broadcasts) }},
+		{"tm_dropped_subscribers_total", "SSE subscribers dropped for falling behind the broadcast.",
+			func(st HubStats) float64 { return float64(st.DroppedSubscribers) }},
+		{"tm_shed_waiters_total", "Long-polls and subscriptions refused at the waiter cap (HTTP 429s).",
+			func(st HubStats) float64 { return float64(st.ShedWaiters) }},
+	}
+	for _, c := range counters {
+		field := c.field
+		s.metrics.CounterFunc(c.name, c.help, tenant, func(emit obs.Emit) { eachHub(emit, field) })
+	}
 }
 
 // hubFor returns the tenant's hub, creating and starting it on first
@@ -154,6 +215,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/tenants", s.handleTenants)
+	mux.Handle("/metrics/prom", s.metrics.Handler())
 	// Tenant-scoped routes. Path patterns with wildcards need Go 1.22's
 	// mux; this repo still builds on 1.21, so the prefix is split by hand.
 	mux.HandleFunc("/t/", s.handleLegacyTenant)
@@ -168,7 +230,7 @@ func (s *Server) Handler() http.Handler {
 			s.serveSnapshot(w, r, s.hubFor(t))
 		})
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
+			writeTenantMetrics(w, t, false)
 		})
 	}
 	return mux
@@ -177,7 +239,22 @@ func (s *Server) Handler() http.Handler {
 // ---- legacy surface (byte-compatible with the pre-serve daemon) ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"ok": s.f.Healthy(), "tenants": s.f.Statuses()}
+	statuses := s.f.Statuses()
+	resp := map[string]any{"ok": s.f.Healthy(), "tenants": statuses}
+	// SLO state rides the health document as extra keys. The HTTP status
+	// stays 200 on degradation: cluster liveness probes gate on it, and a
+	// tenant past its drift SLO is a page for an operator, not a reason
+	// to fail the process over to a standby.
+	var causes []string
+	for _, st := range statuses {
+		if st.Degraded {
+			causes = append(causes, st.Name+": "+st.DegradedCause)
+		}
+	}
+	if len(causes) > 0 {
+		resp["degraded"] = true
+		resp["causes"] = causes
+	}
 	if s.opts.Single && s.single != nil {
 		version, _, ok := s.single.Position()
 		resp["have_snapshot"] = ok
@@ -207,7 +284,7 @@ func (s *Server) handleLegacyTenant(w http.ResponseWriter, r *http.Request) {
 	case "snapshot":
 		s.serveSnapshot(w, r, s.hubFor(t))
 	case "metrics":
-		writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
+		writeTenantMetrics(w, t, false)
 	default:
 		writeLegacyError(w, http.StatusNotFound, fmt.Sprintf("unknown endpoint %q (snapshot or metrics)", endpoint))
 	}
@@ -348,7 +425,7 @@ func (s *Server) handleV1Tenant(w http.ResponseWriter, r *http.Request) {
 	case "events":
 		s.serveV1Events(w, r, s.hubFor(t))
 	case "metrics":
-		writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
+		writeTenantMetrics(w, t, true)
 	case "checkpoint":
 		// The handoff document, served only by cluster members: a
 		// standby (or the coordinator, migrating) pulls it and restores
@@ -614,6 +691,21 @@ func writeEntry(w http.ResponseWriter, e *Entry, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// writeTenantMetrics serves one tenant's estimation-error history with
+// the same serving headers the snapshot routes carry: the newest
+// snapshot version the points lead up to (X-Snapshot-Version), plus —
+// on the v1 surface — its ETag, so a dashboard can correlate a metrics
+// read with the snapshot it belongs to.
+func writeTenantMetrics(w http.ResponseWriter, t fleet.Handle, v1 bool) {
+	if version, _, ok := t.Position(); ok {
+		w.Header().Set("X-Snapshot-Version", strconv.FormatUint(version, 10))
+		if v1 {
+			w.Header().Set("ETag", ETag(version))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"points": t.Metrics()})
 }
 
 // writeJSON answers a legacy-shaped JSON response; the body bytes are

@@ -208,6 +208,14 @@ func (e *Engine) Restore(cp Checkpoint) error {
 	}
 	e.driftPeak = cp.DriftPeak
 	e.prevMean = cloneVec(cp.PrevMean)
+	if cp.Snapshot != nil {
+		// The anomaly flag and episode count ride the checkpointed
+		// snapshot; the baseline ring re-seeds from live drifts (it
+		// only judges once full, so the restart is a quiet ramp-up,
+		// not a false positive).
+		e.anomActive = cp.Snapshot.AnomalyActive
+		e.anomCount = cp.Snapshot.Anomalies
+	}
 	if cp.Snapshot != nil && cp.Snapshot.Resolve != nil &&
 		cp.Method != MethodFanout && len(cp.Snapshot.Resolve) == rt.Net.NumPairs() {
 		e.warmEst = cp.Snapshot.Resolve.Clone()

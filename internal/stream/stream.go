@@ -120,6 +120,31 @@ type Config struct {
 	// engine a private cache, which still amortizes those artifacts
 	// across its own re-solves.
 	Solve *core.SolveCache
+	// OnResolve, when non-nil, observes every completed full re-solve —
+	// worker-mode and dispatch-mode alike — with its wall-clock
+	// duration, solver iteration count and warm/cold start. The hook is
+	// how hosts feed latency histograms (internal/fleet's Prometheus
+	// registry) without polling. It runs on the solving goroutine,
+	// outside the engine's locks, and must not call back into the
+	// engine.
+	OnResolve func(d time.Duration, iters int, warm bool)
+	// AnomalyFactor, when > 0, enables the drift-anomaly detector — the
+	// paper's classic downstream use of TM estimation. An interval
+	// whose window drift exceeds AnomalyFactor times the rolling
+	// baseline (the mean of the last AnomalyWindow non-anomalous
+	// drifts, once the baseline is full) and AnomalyMinDrift marks the
+	// tenant anomalous (Snapshot.AnomalyActive); the first anomalous
+	// interval of an episode increments Snapshot.Anomalies. Anomalous
+	// drifts are kept out of the baseline, so a sustained traffic shift
+	// stays flagged instead of normalizing itself away.
+	AnomalyFactor float64
+	// AnomalyWindow is the rolling-baseline length in consumed
+	// intervals. Defaults to 8.
+	AnomalyWindow int
+	// AnomalyMinDrift is the absolute drift floor: spikes below it
+	// never fire, whatever the baseline says (a near-zero baseline
+	// would otherwise flag noise). Defaults to 0.05.
+	AnomalyMinDrift float64
 }
 
 // Snapshot is one published state of the evolving traffic matrix. All
@@ -147,6 +172,13 @@ type Snapshot struct {
 	// of the active topology. Intervals consumed under different epochs
 	// were measured under different routing matrices.
 	TopologyEpoch int `json:"topology_epoch"`
+	// AnomalyActive reports the drift-anomaly detector's current state
+	// (always false with the detector disabled — Config.AnomalyFactor).
+	AnomalyActive bool `json:"anomaly_active,omitempty"`
+	// Anomalies counts anomaly episodes so far: each rising edge of
+	// AnomalyActive adds one, so a 5-interval flash crowd is one
+	// anomaly, not five.
+	Anomalies int `json:"anomalies,omitempty"`
 
 	// Gravity is the incremental gravity estimate over the window mean
 	// (Mbps per PoP pair).
@@ -229,8 +261,11 @@ type MetricPoint struct {
 	Interval          int       `json:"interval"`
 	Window            int       `json:"window"`
 	Covered           int       `json:"covered"`
+	Skipped           int       `json:"skipped"`
 	Drift             float64   `json:"drift"`
 	TopologyEpoch     int       `json:"topology_epoch"`
+	AnomalyActive     bool      `json:"anomaly_active,omitempty"`
+	Anomalies         int       `json:"anomalies,omitempty"`
 	GravityMRE        float64   `json:"gravity_mre"`
 	ResolveMRE        float64   `json:"resolve_mre"`
 	ResolveInterval   int       `json:"resolve_interval"`
@@ -298,6 +333,14 @@ type Engine struct {
 	sinceResolve int
 	curEvery     int
 	driftPeak    float64
+	// Drift-anomaly detector state (Config.AnomalyFactor): the rolling
+	// ring of non-anomalous drifts with its running sum, the active
+	// flag and the episode counter.
+	anomRing   []float64
+	anomSum    float64
+	anomIdx    int
+	anomActive bool
+	anomCount  int
 	// Warm-start state, advanced by the resolve worker on every
 	// successful solve: the previous estimate (the x0 of the next one)
 	// and, for MethodFanout, the previous solved fanout iterate.
@@ -364,6 +407,21 @@ func New(rt *topology.Routing, cfg Config) (*Engine, error) {
 	}
 	if cfg.MetricsHistory <= 0 {
 		cfg.MetricsHistory = 1024
+	}
+	if cfg.AnomalyFactor < 0 {
+		return nil, fmt.Errorf("stream: negative anomaly factor %v", cfg.AnomalyFactor)
+	}
+	if cfg.AnomalyWindow < 0 {
+		return nil, fmt.Errorf("stream: negative anomaly window %d", cfg.AnomalyWindow)
+	}
+	if cfg.AnomalyWindow == 0 {
+		cfg.AnomalyWindow = 8
+	}
+	if cfg.AnomalyMinDrift < 0 {
+		return nil, fmt.Errorf("stream: negative anomaly min drift %v", cfg.AnomalyMinDrift)
+	}
+	if cfg.AnomalyMinDrift == 0 {
+		cfg.AnomalyMinDrift = 0.05
 	}
 	if cfg.Solve == nil {
 		cfg.Solve = core.NewSolveCache()
@@ -561,6 +619,7 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 		drift = linalg.RelL1(mean, e.prevMean)
 	}
 	e.prevMean = mean // never mutated after this point; safe to retain
+	anomActive, anomCount := e.detectAnomalyLocked(drift)
 	schedule := false
 	if e.cfg.ResolveEvery > 0 {
 		e.sinceResolve++
@@ -611,6 +670,8 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 		Skipped:       skipped,
 		Drift:         drift,
 		TopologyEpoch: epoch,
+		AnomalyActive: anomActive,
+		Anomalies:     anomCount,
 		Gravity:       gravity,
 		Mean:          mean,
 		Fanouts:       traffic.FanoutsOf(net.NumPoPs(), mean),
@@ -640,6 +701,44 @@ func (e *Engine) consume(interval int, rates linalg.Vector, covered int) {
 	}
 }
 
+// detectAnomalyLocked advances the drift-anomaly detector by one
+// consumed interval (stateMu held, called from consume). The baseline
+// is the mean of the last AnomalyWindow non-anomalous drifts; it only
+// starts judging once full, so a cold start's ramp-up drifts seed it
+// instead of tripping it.
+func (e *Engine) detectAnomalyLocked(drift float64) (active bool, count int) {
+	if e.cfg.AnomalyFactor <= 0 {
+		return false, 0
+	}
+	spike := false
+	if len(e.anomRing) == e.cfg.AnomalyWindow {
+		base := e.anomSum / float64(len(e.anomRing))
+		spike = drift > e.cfg.AnomalyMinDrift && drift > e.cfg.AnomalyFactor*base
+	}
+	if spike {
+		if !e.anomActive {
+			e.anomCount++
+		}
+		e.anomActive = true
+	} else {
+		e.anomActive = false
+		// Only non-anomalous drifts feed the baseline: a sustained
+		// traffic shift stays flagged instead of normalizing itself.
+		if e.anomRing == nil {
+			e.anomRing = make([]float64, 0, e.cfg.AnomalyWindow)
+		}
+		if len(e.anomRing) < e.cfg.AnomalyWindow {
+			e.anomRing = append(e.anomRing, drift)
+			e.anomSum += drift
+		} else {
+			e.anomSum += drift - e.anomRing[e.anomIdx]
+			e.anomRing[e.anomIdx] = drift
+			e.anomIdx = (e.anomIdx + 1) % len(e.anomRing)
+		}
+	}
+	return e.anomActive, e.anomCount
+}
+
 // publish installs the next snapshot under the write lock, carrying the
 // latest re-solve fields forward when the new snapshot has none.
 func (e *Engine) publish(snap Snapshot) {
@@ -664,6 +763,9 @@ func (e *Engine) publish(snap Snapshot) {
 // snapshot is by then — never regressing the window state, which may
 // have advanced while the solve ran — and publishes the result.
 func (e *Engine) publishResolve(est linalg.Vector, w resolveWork, iters int, warm bool, d time.Duration) {
+	if e.cfg.OnResolve != nil {
+		e.cfg.OnResolve(d, iters, warm)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	snap := e.snap
@@ -689,8 +791,11 @@ func (e *Engine) installLocked(snap Snapshot) {
 		Interval:          snap.Interval,
 		Window:            snap.Window,
 		Covered:           snap.Covered,
+		Skipped:           snap.Skipped,
 		Drift:             snap.Drift,
 		TopologyEpoch:     snap.TopologyEpoch,
+		AnomalyActive:     snap.AnomalyActive,
+		Anomalies:         snap.Anomalies,
 		GravityMRE:        snap.GravityMRE,
 		ResolveMRE:        snap.ResolveMRE,
 		ResolveInterval:   snap.ResolveInterval,
@@ -880,6 +985,18 @@ func (e *Engine) WaitVersion(ctx context.Context, min uint64) (Snapshot, error) 
 		case <-ch:
 		}
 	}
+}
+
+// LastMetric returns the newest estimation-error point without copying
+// the history — the cheap per-tenant read scrape-time collectors poll
+// on every /metrics/prom render.
+func (e *Engine) LastMetric() (MetricPoint, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.metrics) == 0 {
+		return MetricPoint{}, false
+	}
+	return e.metrics[len(e.metrics)-1], true
 }
 
 // Metrics returns a copy of the estimation-error history, oldest first.

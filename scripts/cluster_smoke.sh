@@ -141,4 +141,25 @@ if [ "$proxied" -lt 1 ]; then
 fi
 say "node report: n3 down after $n3_failures probe failures, $proxied reads proxied"
 
+# The coordinator's Prometheus scrape must tell the same story: the
+# dead node's gauge at 0 with its probe failures counted, and proxied
+# reads accumulated on the per-node routing counters.
+prom=$(curl -sf "$coord/metrics/prom")
+if ! echo "$prom" | grep -qF 'tm_node_healthy{node="n3"} 0'; then
+  say "coordinator scrape does not show n3 down"
+  echo "$prom" | grep '^tm_node_healthy'
+  exit 1
+fi
+if ! echo "$prom" | grep -qE '^tm_node_probe_failures_total\{node="n3"\} [1-9]'; then
+  say "coordinator scrape shows no probe failures for n3"
+  echo "$prom" | grep '^tm_node_probe_failures_total'
+  exit 1
+fi
+if ! echo "$prom" | awk '/^tm_node_proxied_total/ { s += $2 } END { exit !(s >= 1) }'; then
+  say "coordinator scrape counts no proxied reads"
+  echo "$prom" | grep '^tm_node_proxied_total'
+  exit 1
+fi
+say "coordinator /metrics/prom: n3 down, probe failures and proxied reads counted"
+
 say "PASS"

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Observability smoke test, as run by CI's obs-smoke job (and `make
+# obs-smoke`): build tmserve, boot a 2-tenant fleet — one steady replay
+# tenant plus a scripted flash-crowd tenant carrying SLO and
+# anomaly-detector config — and gate on the estimation, SLO and serving
+# families appearing on a live /metrics/prom scrape; then ride the
+# scripted drift spike until the anomaly gauge flips to 1 with /healthz
+# reporting degraded and the named drift cause, wait for both to
+# recover with the episode counted, and finally run the promtool-style
+# exposition validator in internal/obs against the live endpoint.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+smoke_name="obs-smoke"
+. scripts/lib.sh
+
+addr="127.0.0.1:${OBS_SMOKE_PORT:-17495}"
+base="http://$addr"
+
+build_tmserve
+
+# tl loops a flash-crowd timeline forever: a factor-12 surge on
+# London-Paris arrives at interval 8 and retreats at 18. Against a
+# window of 6 the surge and its retreat each keep drift elevated for
+# several ~150ms intervals per cycle — wide enough for the 250ms polls
+# below to observe the anomaly gauge and the degraded healthz — with
+# quiet stretches in between for the recovery gate. slo_max_drift sits
+# between the diurnal baseline (~0.05) and the spike drift (>0.11), so
+# /healthz degrades exactly while the detector is flagging.
+cat > "$workdir/flash.json" <<'JSON'
+{
+  "format": 1,
+  "base": "scaled:europe",
+  "intervals": 30,
+  "events": [
+    {"at": 8, "flash_crowd": {"pair": ["London", "Paris"], "factor": 12, "until": 18}}
+  ]
+}
+JSON
+
+cat > "$workdir/fleet.json" <<JSON
+{
+  "format": 1,
+  "tenants": [
+    {"name": "eu", "source": "europe", "cycles": -1, "pace": "150ms", "window": 3, "resolve_every": 3, "resolve_max_iter": 4000, "resolve_tol": 1e-5},
+    {"name": "tl", "source": "scenario:script:$workdir/flash.json", "cycles": -1, "pace": "150ms", "window": 6, "resolve_every": 5, "resolve_max_iter": 4000, "resolve_tol": 1e-5,
+     "anomaly_factor": 3, "anomaly_window": 4, "anomaly_min_drift": 0.02, "slo_max_drift": 0.1}
+  ]
+}
+JSON
+
+say "booting 2-tenant fleet"
+start_tmserve "$base" -fleet "$workdir/fleet.json" -checkpoint-dir "$workdir/ckpt" -addr "$addr"
+
+scrape() { curl -sf "$base/metrics/prom"; }
+
+# Phase 1: one scrape carries both layers — estimation/SLO families
+# from internal/fleet and serving families from internal/serve — for
+# both tenants, plus the resolve histograms once the first re-solves
+# land and the checkpoint-age gauge once the first saves do.
+families=(
+  'tm_resolve_duration_seconds_bucket{tenant="eu",le="+Inf"}'
+  'tm_resolve_iterations_count{tenant="eu"}'
+  'tm_resolves_total{tenant="eu",warm="false"}'
+  'tm_resolves_total{tenant="tl",warm='
+  'tm_fleet_tenants 2'
+  'tm_pool_workers'
+  'tm_fleet_resolves_pending'
+  'tm_snapshot_version{tenant="tl"}'
+  'tm_window_coverage{tenant="eu"}'
+  'tm_window_intervals{tenant="tl"} 6'
+  'tm_drift{tenant="tl"}'
+  'tm_topology_epoch{tenant="eu"} 0'
+  'tm_anomaly_active{tenant="tl"}'
+  'tm_anomalies_total{tenant="tl"}'
+  'tm_checkpoint_age_seconds{tenant="eu"}'
+  'tm_tenant_degraded{tenant="tl"}'
+  'tm_serving_waiters{tenant="eu"}'
+  'tm_serving_subscribers{tenant="tl"}'
+  'tm_served_waits_total{tenant="eu"}'
+  'tm_snapshot_broadcasts_total{tenant="eu"}'
+  'tm_shed_waiters_total{tenant="tl"} 0'
+)
+families_present() {
+  local body
+  body=$(scrape) || return 1
+  for want in "${families[@]}"; do
+    echo "$body" | grep -qF "$want" || return 1
+  done
+}
+say "waiting for every family on /metrics/prom"
+if ! wait_for 240 "${#families[@]} families on the scrape" families_present; then
+  body=$(scrape) || true
+  for want in "${families[@]}"; do
+    echo "$body" | grep -qF "$want" || say "missing: $want"
+  done
+  exit 1
+fi
+say "all ${#families[@]} families present"
+
+# Phase 2: the flash crowd must flip the anomaly gauge while /healthz
+# reports the tenant degraded with its drift cause named — and the
+# process must stay HTTP-200 alive throughout (liveness probes gate on
+# the status code, not the SLO).
+anomaly_flagged() {
+  local body hz
+  body=$(scrape) || return 1
+  echo "$body" | grep -qF 'tm_anomaly_active{tenant="tl"} 1' || return 1
+  hz=$(curl -sf "$base/healthz") || return 1
+  echo "$hz" | grep -qF '"degraded":true' || return 1
+  echo "$hz" | grep -q 'tl: drift' || return 1
+}
+say "riding the flash crowd"
+wait_for 240 "drift spike flipping tm_anomaly_active and /healthz" anomaly_flagged
+say "anomaly flagged: tm_anomaly_active=1, /healthz degraded with a drift cause"
+
+# Phase 3: the spike passes — the gauge drops back to 0 with the
+# episode counted, the degraded marker clears, and the tenant kept
+# serving the whole time.
+recovered() {
+  local body
+  body=$(scrape) || return 1
+  echo "$body" | grep -qF 'tm_anomaly_active{tenant="tl"} 0' || return 1
+  echo "$body" | grep -qE '^tm_anomalies_total\{tenant="tl"\} [1-9]' || return 1
+  ! curl -sf "$base/healthz" | grep -qF '"degraded"'
+}
+wait_for 240 "anomaly clearing and /healthz recovering" recovered
+episodes=$(scrape | grep '^tm_anomalies_total{tenant="tl"}' | awk '{print $2}')
+say "recovered: $episodes anomaly episode(s) counted, /healthz clean"
+
+if [ "$(curl -sf "$base/healthz" | jq -r .ok)" != "true" ]; then
+  say "/healthz not ok after recovery"
+  exit 1
+fi
+
+# Phase 4: the live exposition must satisfy the same promtool-style
+# validator the unit tests run — content type included.
+say "linting the live exposition (internal/obs validator)"
+OBS_LINT_URL="$base/metrics/prom" go test ./internal/obs -run 'TestLintLiveURL' -count=1
+
+say "PASS"
